@@ -1,0 +1,61 @@
+"""Ablation: are the paper-table *shapes* stable under cost-model error?
+
+Our absolute simulated seconds depend on calibration constants (message
+latency, bandwidth, effective flop/iop rates).  This bench perturbs each
+constant by 10x in both directions and re-checks the qualitative claims
+the reproduction rests on:
+
+* schedule reuse beats no-reuse,
+* BLOCK's executor loses to RCB's,
+* RSB's partitioner costs far more than RCB's.
+
+If these invert under any perturbation, the reproduction's conclusions
+would be calibration artifacts; they do not.
+"""
+
+import pytest
+from conftest import run_once
+
+from repro.bench.harness import run_euler_experiment
+from repro.machine.costmodel import IPSC860
+from repro.workloads import generate_mesh, scale_config
+
+PERTURBATIONS = [
+    ("baseline", {}),
+    ("alpha_x10", {"alpha": 10.0}),
+    ("alpha_x0.1", {"alpha": 0.1}),
+    ("beta_x10", {"beta": 10.0}),
+    ("beta_x0.1", {"beta": 0.1}),
+    ("flops_x10", {"flop_time": 10.0}),
+    ("flops_x0.1", {"flop_time": 0.1}),
+    ("iops_x10", {"iop_time": 10.0}),
+    ("iops_x0.1", {"iop_time": 0.1}),
+]
+
+
+@pytest.mark.parametrize("label,factors", PERTURBATIONS, ids=[p[0] for p in PERTURBATIONS])
+def test_shapes_stable_under_costmodel_perturbation(benchmark, label, factors):
+    scale = scale_config()
+    mesh = generate_mesh(scale.mesh_small, seed=1)
+    model = IPSC860.scaled(**factors) if factors else IPSC860
+
+    def run():
+        rcb = run_euler_experiment(
+            mesh, 8, partitioner="RCB", iterations=30, cost_model=model
+        )
+        rcb_nr = run_euler_experiment(
+            mesh, 8, partitioner="RCB", iterations=30, reuse=False, cost_model=model
+        )
+        block = run_euler_experiment(
+            mesh, 8, partitioner="BLOCK", iterations=30, cost_model=model
+        )
+        rsb = run_euler_experiment(
+            mesh, 8, partitioner="RSB", iterations=30, cost_model=model
+        )
+        return rcb, rcb_nr, block, rsb
+
+    rcb, rcb_nr, block, rsb = run_once(benchmark, run)
+    loop = lambda r: r.phase("inspector") + r.phase("executor")
+    assert loop(rcb) < loop(rcb_nr), label
+    assert block.phase("executor") > rcb.phase("executor"), label
+    assert rsb.phase("partition") > 5 * rcb.phase("partition"), label

@@ -1,0 +1,67 @@
+"""Ablation: replicated vs distributed (paged) translation tables
+(DESIGN.md item 4).
+
+For irregularly distributed arrays, a *replicated* table answers every
+dereference locally but costs O(N) memory per processor and an all-gather
+to build; CHAOS's *distributed* table is O(N/P) memory but each
+dereference of a remote page costs a request/reply message pair, which
+lands in the inspector phase.  The paper's inspector times include this
+traffic; this bench isolates it.
+"""
+
+from conftest import run_once
+
+from repro.bench import render_table
+from repro.machine import Machine
+from repro.workloads import generate_mesh, scale_config
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+
+
+def run_variant(mesh, variant, procs=16):
+    m = Machine(procs)
+    prog = setup_euler_program(m, mesh, seed=0, ttable_variant=variant)
+    prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
+    prog.set_distribution("fmt", "G", "RCB")
+    prog.redistribute("reg", "fmt")
+    prog.forall(euler_edge_loop(mesh), n_times=10)
+    return {
+        "variant": variant,
+        "inspector": prog.phase_time("inspector"),
+        "executor": prog.phase_time("executor"),
+        "messages": sum(p.stats.messages_sent for p in m.procs),
+        "mem_per_proc_entries": (
+            mesh.n_nodes if variant == "replicated" else -(-mesh.n_nodes // procs)
+        ),
+    }
+
+
+def test_translation_table_variants(benchmark, report):
+    scale = scale_config()
+    mesh = generate_mesh(scale.mesh_small, seed=1)
+
+    def run():
+        return [run_variant(mesh, v) for v in ("replicated", "distributed")]
+
+    rows = run_once(benchmark, run)
+    report(
+        "ablation_ttable",
+        render_table(
+            "Translation-table ablation (RCB mesh, 16 procs, 10 sweeps)",
+            rows,
+            [
+                ("variant", "Variant"),
+                ("inspector", "Inspector(s)"),
+                ("executor", "Executor(s)"),
+                ("messages", "Messages"),
+                ("mem_per_proc_entries", "TableEntries/proc"),
+            ],
+        ),
+    )
+    rep = next(r for r in rows if r["variant"] == "replicated")
+    dist = next(r for r in rows if r["variant"] == "distributed")
+    # the distributed table pays dereference communication at inspection
+    assert dist["inspector"] > rep["inspector"]
+    # but holds P-times less table state per processor
+    assert dist["mem_per_proc_entries"] * 8 <= rep["mem_per_proc_entries"]
+    # executor is unaffected: schedules are identical afterwards
+    assert abs(dist["executor"] - rep["executor"]) < 0.05 * rep["executor"]

@@ -1,0 +1,25 @@
+"""Figure 2: the five-phase structure of an irregular-problem solve.
+
+The paper's Figure 2 is a flow diagram (Phase A: GeoCoL build/partition,
+B: iteration partition, C: remap, D: inspector, E: executor); this bench
+times each phase of the pipeline on the large mesh so the diagram's
+phases become a measured series.
+"""
+
+from conftest import run_once
+
+from repro.bench import fig2_phase_breakdown
+
+
+def test_fig2_phase_breakdown(benchmark, report):
+    rows, text = run_once(benchmark, fig2_phase_breakdown)
+    report("fig2_phases", text)
+    assert len(rows) == 4
+    seconds = {r["phase"][0]: r["seconds"] for r in rows}
+    # every phase contributes
+    assert all(v > 0 for v in seconds.values())
+    # RSB makes phase A (partitioning) the dominant one-time cost...
+    assert seconds["A"] > seconds["B"] and seconds["A"] > seconds["D"]
+    # ...amortized across the 100-iteration executor phase
+    total_once = seconds["A"] + seconds["B"] + seconds["D"]
+    assert seconds["E"] < 100 * total_once  # sanity: amortization is real

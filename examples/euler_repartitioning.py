@@ -1,0 +1,57 @@
+#!/usr/bin/env python
+"""Unstructured Euler edge sweep: BLOCK vs RCB vs RSB partitioning.
+
+Reproduces the paper's Figure 4 pipeline on a synthetic 3-D mesh and
+prints a Table-2-style phase breakdown for three partitioning choices,
+showing the trade-off the paper demonstrates: irregular distributions
+cost a partitioning+remap phase up front but repay it across the
+100-iteration executor; RSB partitions best but costs by far the most
+to compute.
+
+    python examples/euler_repartitioning.py [n_nodes] [n_procs]
+"""
+
+import sys
+
+from repro.bench import PHASE_NAMES, run_euler_experiment
+from repro.partitioners import edge_cut, get_partitioner, load_imbalance
+from repro.partitioners.base import PartitionProblem
+from repro.workloads import generate_mesh
+
+
+def main(n_nodes=3000, n_procs=16):
+    print(f"Generating {n_nodes}-node 3-D unstructured mesh ...")
+    mesh = generate_mesh(n_nodes, seed=7)
+    print(f"  {mesh.n_nodes} nodes, {mesh.n_edges} edges (randomly numbered)\n")
+
+    prob = PartitionProblem(
+        mesh.n_nodes, edges=mesh.edges, coords=mesh.coords
+    )
+    header = f"{'variant':<8} " + " ".join(f"{p[:9]:>10}" for p in PHASE_NAMES)
+    print(header + f" {'total':>10} {'edgecut':>8} {'imbal':>6}")
+    print("-" * len(header + "  total  edgecut  imbal"))
+    for name in ("BLOCK", "RCB", "RSB"):
+        res = run_euler_experiment(
+            mesh, n_procs, partitioner=name, iterations=100
+        )
+        owners = get_partitioner(name if name != "BLOCK" else "BLOCK").partition(
+            prob, n_procs
+        ).owner_map
+        cut = edge_cut(mesh.edges, owners)
+        imbal = load_imbalance(owners, n_procs)
+        cells = " ".join(f"{res.phase(p):>10.3f}" for p in PHASE_NAMES)
+        print(
+            f"{name:<8} {cells} {res.total:>10.3f} {cut:>8} {imbal:>6.2f}"
+        )
+    print(
+        "\nReading the table: BLOCK skips partitioning but its executor"
+        "\npays for the cut edges every iteration; RCB buys a 2-3x better"
+        "\nexecutor for a tiny partitioning cost; RSB's eigen-partitioner"
+        "\nis orders of magnitude more expensive and only pays off when"
+        "\nthe executor runs many more iterations."
+    )
+
+
+if __name__ == "__main__":
+    args = [int(a) for a in sys.argv[1:3]]
+    main(*args)

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Molecular dynamics: 648-atom water box electrostatic force sweep.
+
+Demonstrates (a) schedule reuse across timesteps while atoms move
+*within* a fixed pair list, and (b) automatic re-inspection the moment
+the pair list is rebuilt -- the runtime record notices the indirection
+arrays changed, exactly the paper's conservative mechanism.
+
+    python examples/md_water_box.py
+"""
+
+import numpy as np
+
+from repro.machine import Machine
+from repro.workloads.md import (
+    md_force_loop,
+    md_sequential_reference,
+    pair_list,
+    setup_md_program,
+    water_box,
+)
+
+
+def main():
+    machine = Machine(8)
+    prog, pairs = setup_md_program(machine, n_atoms=648, cutoff=6.0, seed=3)
+    loop = md_force_loop(pairs.shape[1])
+    print(f"648-atom water box, {pairs.shape[1]} pairs within 6 A cutoff")
+
+    # phase 1: ten timesteps on a fixed pair list -> one inspection
+    prog.forall(loop, n_times=10)
+    print(
+        f"10 sweeps done: inspector runs={prog.inspector_runs}, "
+        f"reuse hits={prog.reuse_hits}"
+    )
+    coords = np.stack([prog.arrays[c].to_global() for c in ("rx", "ry", "rz")])
+    charges = prog.arrays["q"].to_global()
+    want = md_sequential_reference(coords, charges, pairs, n_times=10)
+    assert np.allclose(prog.arrays["fx"].to_global(), want)
+    print("forces verified against sequential NumPy reference")
+
+    # phase 2: atoms drifted -> rebuild the pair list (writes p1/p2)
+    drift = np.random.default_rng(9).normal(scale=0.05, size=coords.shape)
+    new_coords = coords + drift
+    new_pairs = pair_list(new_coords, cutoff=6.0)
+    if new_pairs.shape[1] != pairs.shape[1]:
+        # keep the decomposition size fixed: truncate or pad by repeating
+        # the final pair (a duplicate contribution is fine for the demo)
+        k = pairs.shape[1]
+        if new_pairs.shape[1] >= k:
+            new_pairs = new_pairs[:, :k]
+        else:
+            pad = np.repeat(new_pairs[:, -1:], k - new_pairs.shape[1], axis=1)
+            new_pairs = np.concatenate([new_pairs, pad], axis=1)
+        print(f"(pair list adjusted to the original {k} entries)")
+    for c, vals in zip(("rx", "ry", "rz"), new_coords):
+        prog.set_array(c, vals)
+    prog.set_array("p1", new_pairs[0])
+    prog.set_array("p2", new_pairs[1])
+
+    before = prog.inspector_runs
+    prog.forall(loop, n_times=5)
+    print(
+        f"after pair-list rebuild: inspector re-ran "
+        f"{prog.inspector_runs - before} time(s) (conservative check "
+        f"detected the indirection-array writes), then reused again"
+    )
+    assert prog.inspector_runs == before + 1
+
+    print(f"\nsimulated machine time: {machine.elapsed():.3f}s")
+    print(
+        f"  inspector: {prog.phase_time('inspector'):.3f}s, "
+        f"executor: {prog.phase_time('executor'):.3f}s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,40 @@
+"""Benchmark harness regenerating the paper's tables and figures.
+
+:mod:`~repro.bench.harness` runs one experiment (workload x processor
+count x partitioner x compiler/hand path x reuse mode) on a fresh
+simulated machine and reports per-phase simulated times;
+:mod:`~repro.bench.tables` assembles those runs into the paper's Tables
+1-4 and the Figure 2 phase breakdown, with plain-text rendering.
+
+All times are **simulated machine seconds** (iPSC/860 cost model), not
+Python wall time; pytest-benchmark wraps the harness only to record how
+long the simulation itself takes to run.
+"""
+
+from repro.bench.harness import (
+    ExperimentResult,
+    run_euler_experiment,
+    run_md_experiment,
+    PHASE_NAMES,
+)
+from repro.bench.tables import (
+    table1_schedule_reuse,
+    table2_mapper_coupler,
+    table3_rcb_detail,
+    table4_block,
+    fig2_phase_breakdown,
+    render_table,
+)
+
+__all__ = [
+    "ExperimentResult",
+    "run_euler_experiment",
+    "run_md_experiment",
+    "PHASE_NAMES",
+    "table1_schedule_reuse",
+    "table2_mapper_coupler",
+    "table3_rcb_detail",
+    "table4_block",
+    "fig2_phase_breakdown",
+    "render_table",
+]

@@ -1,0 +1,67 @@
+"""Command-line entry point for the benchmark harness.
+
+    python -m repro.bench table1 [--scale small|medium|paper]
+    python -m repro.bench table2 [--procs 32]
+    python -m repro.bench table3
+    python -m repro.bench table4
+    python -m repro.bench fig2
+    python -m repro.bench all
+
+Prints the paper-style tables (simulated iPSC/860 seconds) to stdout.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.tables import (
+    fig2_phase_breakdown,
+    table1_schedule_reuse,
+    table2_mapper_coupler,
+    table3_rcb_detail,
+    table4_block,
+)
+
+_TARGETS = {
+    "table1": lambda args: table1_schedule_reuse(args.scale),
+    "table2": lambda args: table2_mapper_coupler(args.scale, n_procs=args.procs),
+    "table3": lambda args: table3_rcb_detail(args.scale),
+    "table4": lambda args: table4_block(args.scale),
+    "fig2": lambda args: fig2_phase_breakdown(args.scale, n_procs=args.procs),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables on the simulated machine.",
+    )
+    parser.add_argument(
+        "target",
+        choices=sorted(_TARGETS) + ["all"],
+        help="which table/figure to regenerate",
+    )
+    parser.add_argument(
+        "--scale",
+        default=None,
+        choices=["small", "medium", "paper"],
+        help="problem scale (default: $REPRO_SCALE or 'small')",
+    )
+    parser.add_argument(
+        "--procs",
+        type=int,
+        default=32,
+        help="processor count for table2/fig2 (default 32)",
+    )
+    args = parser.parse_args(argv)
+    targets = sorted(_TARGETS) if args.target == "all" else [args.target]
+    for name in targets:
+        _, text = _TARGETS[name](args)
+        print(text)
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,67 @@
+"""Ghost-buffer allocation and bookkeeping.
+
+CHAOS allocates, per processor, buffer space for copies of off-processor
+data ("allocates local memory for each unique off-processor distributed
+array element accessed by a loop").  ``GhostBuffers`` owns those arrays
+for one (schedule, dtype) pair; the inspector stores one per data array,
+and the reuse mechanism keeps them alive together with the schedule.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.schedule import CommSchedule
+from repro.machine.machine import Machine
+
+
+class GhostBuffers:
+    """Per-processor ghost arrays sized by a schedule."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        schedule: CommSchedule,
+        dtype=np.float64,
+        costs: ChaosCosts = DEFAULT_COSTS,
+        charge: bool = True,
+    ):
+        if schedule.machine is not machine:
+            raise ValueError("schedule lives on a different machine")
+        self.machine = machine
+        self.schedule = schedule
+        self.dtype = np.dtype(dtype)
+        self._bufs = [
+            np.zeros(schedule.ghost_sizes[p], dtype=self.dtype)
+            for p in range(machine.n_procs)
+        ]
+        if charge:
+            machine.charge_compute_all(
+                iops=[costs.buffer_assign * s for s in schedule.ghost_sizes]
+            )
+
+    def buf(self, p: int) -> np.ndarray:
+        """Ghost buffer of processor ``p``."""
+        if not 0 <= p < self.machine.n_procs:
+            raise ValueError(
+                f"processor id {p} out of range [0, {self.machine.n_procs})"
+            )
+        return self._bufs[p]
+
+    @property
+    def buffers(self) -> list[np.ndarray]:
+        return self._bufs
+
+    def fill(self, value) -> None:
+        """Reset every buffer (e.g. zero ghosts before accumulating)."""
+        for b in self._bufs:
+            b.fill(value)
+
+    def total_elements(self) -> int:
+        return sum(b.size for b in self._bufs)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"GhostBuffers(dtype={self.dtype}, total={self.total_elements()})"
+        )

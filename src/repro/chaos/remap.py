@@ -1,0 +1,165 @@
+"""Array remapping: move data between distributions (Phase C of Figure 2).
+
+"A communication schedule is built and used to redistribute the arrays
+from the default to the new distribution" (Section 4.1.2).  The schedule
+is built once per redistribution and applied to every array aligned with
+the decomposition -- remapping x, y and the coordinate arrays of a mesh
+shares one :class:`RemapSchedule`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.distribution.base import Distribution
+from repro.distribution.distarray import DistArray
+from repro.machine.machine import Machine
+
+
+class RemapSchedule:
+    """Moves every element from its old owner/offset to its new one."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        old_signature: tuple,
+        new_dist: Distribution,
+        moves: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+    ):
+        self.machine = machine
+        self.old_signature = old_signature
+        self.new_dist = new_dist
+        #: (src, dst) -> (old local offsets on src, new local offsets on dst)
+        self.moves = moves
+
+    def element_count(self) -> int:
+        """Elements that change processor (self-moves excluded)."""
+        return sum(
+            len(src_l) for (p, q), (src_l, _) in self.moves.items() if p != q
+        )
+
+    def apply(
+        self, arr: DistArray, costs: ChaosCosts = DEFAULT_COSTS
+    ) -> None:
+        """Move one array's data and rebind it to the new distribution."""
+        if arr.machine is not self.machine:
+            raise ValueError("remap schedule and array live on different machines")
+        if arr.distribution.signature() != self.old_signature:
+            raise ValueError(
+                f"remap schedule is stale: built for {self.old_signature}, "
+                f"array {arr.name!r} has {arr.distribution.signature()}"
+            )
+        m = self.machine
+        n = m.n_procs
+        new_locals = [
+            np.empty(self.new_dist.local_size(p), dtype=arr.dtype) for p in range(n)
+        ]
+        pack = np.zeros(n)
+        unpack = np.zeros(n)
+        wires: dict[tuple[int, int], int] = {}
+        for (p, q), (src_l, dst_l) in self.moves.items():
+            if not len(src_l):
+                continue
+            new_locals[q][dst_l] = arr.local(p)[src_l]
+            pack[p] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
+            unpack[q] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
+            wires[(p, q)] = len(src_l) * arr.itemsize
+        m.charge_compute_all(mem=list(pack))
+        m.exchange(wires)
+        m.charge_compute_all(mem=list(unpack))
+        arr.rebind(self.new_dist, new_locals)
+
+
+def build_remap_schedule(
+    machine: Machine,
+    old_dist: Distribution,
+    new_dist: Distribution,
+    costs: ChaosCosts = DEFAULT_COSTS,
+) -> RemapSchedule:
+    """Build the schedule that moves data from ``old_dist`` to ``new_dist``.
+
+    Charges the per-element schedule-construction work (new translation
+    table entries, move-list assembly) plus the exchange of move lists.
+    """
+    if old_dist.size != new_dist.size:
+        raise ValueError(
+            f"cannot remap between sizes {old_dist.size} and {new_dist.size}"
+        )
+    if old_dist.n_procs != machine.n_procs or new_dist.n_procs != machine.n_procs:
+        raise ValueError("distributions must span the machine")
+    n = machine.n_procs
+    size = old_dist.size
+    g = np.arange(size, dtype=np.int64)
+    old_owner = np.asarray(old_dist.owner(g), dtype=np.int64) if size else g
+    new_owner = np.asarray(new_dist.owner(g), dtype=np.int64) if size else g
+    old_lidx = np.asarray(old_dist.local_index(g), dtype=np.int64) if size else g
+    new_lidx = np.asarray(new_dist.local_index(g), dtype=np.int64) if size else g
+
+    moves: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
+    counts = np.zeros((n, n), dtype=np.int64)
+    if size:
+        pair_key = old_owner * n + new_owner
+        order = np.argsort(pair_key, kind="stable")
+        sorted_keys = pair_key[order]
+        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+        starts = np.concatenate(([0], boundaries, [size]))
+        for i in range(len(starts) - 1):
+            lo, hi = starts[i], starts[i + 1]
+            key = int(sorted_keys[lo])
+            p, q = divmod(key, n)
+            idx = order[lo:hi]
+            moves[(p, q)] = (old_lidx[idx], new_lidx[idx])
+            counts[p, q] = hi - lo
+
+    # charge: per-element remap bookkeeping at the old owner, plus the
+    # move-list exchange (each element's (gidx, new offset) pair travels
+    # to the new owner as schedule metadata)
+    per_proc = counts.sum(axis=1).astype(float)
+    machine.charge_compute_all(iops=[costs.remap_build * c for c in per_proc])
+    machine.exchange(
+        {
+            (p, q): int(counts[p, q]) * 2 * costs.index_bytes
+            for p in range(n)
+            for q in range(n)
+            if p != q and counts[p, q]
+        }
+    )
+    machine.barrier()
+    return RemapSchedule(machine, old_dist.signature(), new_dist, moves)
+
+
+def remap_array(
+    arr: DistArray, new_dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS
+) -> RemapSchedule:
+    """Build a schedule and remap a single array; returns the schedule."""
+    sched = build_remap_schedule(arr.machine, arr.distribution, new_dist, costs)
+    sched.apply(arr, costs)
+    return sched
+
+
+def remap_arrays(
+    arrays: list[DistArray],
+    new_dist: Distribution,
+    costs: ChaosCosts = DEFAULT_COSTS,
+) -> RemapSchedule:
+    """Remap several same-distribution arrays sharing one schedule.
+
+    This is what REDISTRIBUTE does to every array aligned with a
+    decomposition: the schedule is built once, applied per array.
+    """
+    if not arrays:
+        raise ValueError("no arrays to remap")
+    first = arrays[0]
+    for arr in arrays[1:]:
+        if arr.distribution.signature() != first.distribution.signature():
+            raise ValueError(
+                f"arrays {first.name!r} and {arr.name!r} have different "
+                "distributions; remap them separately"
+            )
+        if arr.machine is not first.machine:
+            raise ValueError("arrays live on different machines")
+    sched = build_remap_schedule(first.machine, first.distribution, new_dist, costs)
+    for arr in arrays:
+        sched.apply(arr, costs)
+    return sched

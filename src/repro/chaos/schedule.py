@@ -1,0 +1,198 @@
+"""Communication schedules: the central PARTI/CHAOS data structure.
+
+A :class:`CommSchedule` records, for one access pattern against one
+distribution, everything needed to move off-processor data:
+
+* ``send_lists[(q, p)]`` -- local offsets on owner ``q`` of the elements
+  requester ``p`` needs (what ``q`` packs and sends to ``p``), and
+* ``recv_slots[(q, p)]`` -- ghost-buffer slots on ``p`` where those
+  elements land, in wire order.
+
+The same schedule drives data in both directions: ``gather`` prefetches
+off-processor data into ghost buffers before an executor runs (reads),
+and ``scatter``/``scatter_op`` pushes ghost-buffer contributions back to
+the owners afterwards (writes / reductions) -- PARTI's
+``gather_exchange`` / ``scatter_op`` pair.
+
+A schedule is *bound to a distribution signature*: applying it to an
+array whose distribution has changed since inspection is a hard error
+(this is exactly the staleness the paper's reuse check prevents, so the
+runtime enforces it defensively too).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.distribution.distarray import DistArray
+from repro.machine.machine import Machine
+
+
+class CommSchedule:
+    """Schedule for gathering/scattering one access pattern's ghost data."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        dist_signature: tuple,
+        send_lists: dict[tuple[int, int], np.ndarray],
+        recv_slots: dict[tuple[int, int], np.ndarray],
+        ghost_sizes: list[int],
+        costs: ChaosCosts = DEFAULT_COSTS,
+    ):
+        n = machine.n_procs
+        if len(ghost_sizes) != n:
+            raise ValueError(f"expected {n} ghost sizes, got {len(ghost_sizes)}")
+        if set(send_lists) != set(recv_slots):
+            raise ValueError("send_lists and recv_slots must cover the same pairs")
+        for (q, p), sl in send_lists.items():
+            if not (0 <= q < n and 0 <= p < n):
+                raise ValueError(f"processor pair ({q}, {p}) out of range")
+            rs = recv_slots[(q, p)]
+            if len(sl) != len(rs):
+                raise ValueError(
+                    f"pair ({q}, {p}): {len(sl)} sends but {len(rs)} recv slots"
+                )
+            if len(rs) and (rs.min() < 0 or rs.max() >= ghost_sizes[p]):
+                raise ValueError(
+                    f"pair ({q}, {p}): recv slot out of range [0, {ghost_sizes[p]})"
+                )
+        self.machine = machine
+        self.dist_signature = dist_signature
+        self.send_lists = {k: np.asarray(v, dtype=np.int64) for k, v in send_lists.items()}
+        self.recv_slots = {k: np.asarray(v, dtype=np.int64) for k, v in recv_slots.items()}
+        self.ghost_sizes = [int(s) for s in ghost_sizes]
+        self.costs = costs
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    @property
+    def n_procs(self) -> int:
+        return self.machine.n_procs
+
+    def message_count(self) -> int:
+        """Number of non-empty point-to-point messages per gather."""
+        return sum(
+            1 for (q, p), sl in self.send_lists.items() if len(sl) and q != p
+        )
+
+    def element_count(self) -> int:
+        """Total off-processor elements moved per gather."""
+        return sum(len(sl) for (q, p), sl in self.send_lists.items() if q != p)
+
+    def ghost_total(self) -> int:
+        return sum(self.ghost_sizes)
+
+    def _check_array(self, arr: DistArray) -> None:
+        if arr.distribution.signature() != self.dist_signature:
+            raise ValueError(
+                f"schedule is stale: built for distribution signature "
+                f"{self.dist_signature}, array {arr.name!r} now has "
+                f"{arr.distribution.signature()}"
+            )
+        if arr.machine is not self.machine:
+            raise ValueError("schedule and array live on different machines")
+
+    def _check_ghosts(self, ghosts: list[np.ndarray], itemsize: int) -> None:
+        if len(ghosts) != self.n_procs:
+            raise ValueError(
+                f"expected {self.n_procs} ghost buffers, got {len(ghosts)}"
+            )
+        for p, buf in enumerate(ghosts):
+            if buf.shape != (self.ghost_sizes[p],):
+                raise ValueError(
+                    f"ghost buffer for processor {p} has shape {buf.shape}, "
+                    f"schedule needs ({self.ghost_sizes[p]},)"
+                )
+
+    # ------------------------------------------------------------------
+    # data movement
+    # ------------------------------------------------------------------
+    def gather(self, arr: DistArray, ghosts: list[np.ndarray]) -> None:
+        """Prefetch off-processor data into ghost buffers (one phase).
+
+        For every pair ``(q, p)``: owner ``q`` packs
+        ``arr.local(q)[send_lists]`` and requester ``p`` stores the wire
+        data at ``ghosts[p][recv_slots]``.  Charges packing/unpacking
+        memory traffic and the message exchange.
+        """
+        self._check_array(arr)
+        self._check_ghosts(ghosts, arr.itemsize)
+        m = self.machine
+        pack = np.zeros(self.n_procs)
+        unpack = np.zeros(self.n_procs)
+        wires: dict[tuple[int, int], int] = {}
+        for (q, p), sl in self.send_lists.items():
+            if not len(sl):
+                continue
+            data = arr.local(q)[sl]
+            ghosts[p][self.recv_slots[(q, p)]] = data
+            pack[q] += self.costs.pack_unpack_mem * len(sl)
+            unpack[p] += self.costs.pack_unpack_mem * len(sl)
+            wires[(q, p)] = len(sl) * arr.itemsize
+        m.charge_compute_all(mem=list(pack))
+        m.exchange(wires)
+        m.charge_compute_all(mem=list(unpack))
+
+    def scatter(self, ghosts: list[np.ndarray], arr: DistArray) -> None:
+        """Reverse movement, overwrite semantics: ghost copies are sent
+        back to the owners and stored (last writer per slot wins in wire
+        order -- callers needing determinism use distinct slots)."""
+        self._apply_reverse(ghosts, arr, op=None)
+
+    def scatter_op(
+        self,
+        ghosts: list[np.ndarray],
+        arr: DistArray,
+        op: Callable,
+        flops_per_element: float = 1.0,
+    ) -> None:
+        """Reverse movement with combining (PARTI scatter_add/op).
+
+        ``op`` is a NumPy ufunc used through ``op.at`` so repeated slots
+        accumulate -- the loop-carried reduction semantics the paper
+        allows (add, multiply, minimum, maximum).
+        """
+        if not hasattr(op, "at"):
+            raise TypeError(f"op must be a NumPy ufunc with .at, got {op!r}")
+        self._apply_reverse(ghosts, arr, op=op, flops_per_element=flops_per_element)
+
+    def _apply_reverse(
+        self,
+        ghosts: list[np.ndarray],
+        arr: DistArray,
+        op: Callable | None,
+        flops_per_element: float = 1.0,
+    ) -> None:
+        self._check_array(arr)
+        self._check_ghosts(ghosts, arr.itemsize)
+        m = self.machine
+        pack = np.zeros(self.n_procs)
+        unpack = np.zeros(self.n_procs)
+        combine = np.zeros(self.n_procs)
+        wires: dict[tuple[int, int], int] = {}
+        for (q, p), sl in self.send_lists.items():
+            if not len(sl):
+                continue
+            data = ghosts[p][self.recv_slots[(q, p)]]
+            if op is None:
+                arr.local(q)[sl] = data
+            else:
+                op.at(arr.local(q), sl, data)
+                combine[q] += flops_per_element * len(sl)
+            pack[p] += self.costs.pack_unpack_mem * len(sl)
+            unpack[q] += self.costs.pack_unpack_mem * len(sl)
+            wires[(p, q)] = len(sl) * arr.itemsize
+        m.charge_compute_all(mem=list(pack))
+        m.exchange(wires)
+        m.charge_compute_all(mem=list(unpack), flops=list(combine))
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"CommSchedule(procs={self.n_procs}, messages={self.message_count()}, "
+            f"elements={self.element_count()}, ghosts={self.ghost_total()})"
+        )

@@ -1,0 +1,217 @@
+"""Translation tables: global index -> (owner, local offset) with costs.
+
+For regular distributions the translation is closed-form arithmetic.  For
+irregular distributions PARTI/CHAOS kept an explicit table, either
+
+* **replicated** -- every processor stores the full owner/offset map.
+  Dereference is a local lookup; building it costs an all-gather of the
+  locally-known fragments (and O(N) memory per processor), or
+* **distributed (paged)** -- the table itself is block-distributed; a
+  dereference for an arbitrary global index requires a request message to
+  the page's owner and a reply.  This is CHAOS's scalable default and the
+  variant whose communication shows up in the paper's inspector times.
+
+Both variants return identical translations; they differ only in what
+they charge the machine.  ``dereference`` operates on one requesting
+processor's reference list at a time; ``dereference_all`` batches the
+request/reply exchanges of all processors into two machine phases, the
+way CHAOS's loosely synchronous dereference actually behaved.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.distribution.base import Distribution
+from repro.distribution.regular import BlockDistribution
+from repro.machine.collectives import allgather_cost
+from repro.machine.machine import Machine
+
+
+class TranslationTable(ABC):
+    """Maps global indices of one distribution to (owner, local offset)."""
+
+    def __init__(self, machine: Machine, dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS):
+        if dist.n_procs != machine.n_procs:
+            raise ValueError(
+                f"distribution spans {dist.n_procs} processors, machine has "
+                f"{machine.n_procs}"
+            )
+        self.machine = machine
+        self.dist = dist
+        self.costs = costs
+
+    @abstractmethod
+    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Translate processor ``p``'s reference list; charges ``p`` (and,
+        for the distributed table, the page owners)."""
+
+    def dereference_all(
+        self, ref_lists: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Translate every processor's list in one loosely synchronous phase."""
+        return [self.dereference(p, refs) for p, refs in enumerate(ref_lists)]
+
+    def _translate(self, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        g = np.asarray(gidx, dtype=np.int64)
+        return (
+            np.asarray(self.dist.owner(g), dtype=np.int64),
+            np.asarray(self.dist.local_index(g), dtype=np.int64),
+        )
+
+
+class RegularTranslationTable(TranslationTable):
+    """Closed-form translation for block/cyclic/block-cyclic distributions."""
+
+    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        owners, lidx = self._translate(gidx)
+        self.machine.charge_compute(
+            p, iops=self.costs.translate_regular * len(owners)
+        )
+        return owners, lidx
+
+
+class ReplicatedTranslationTable(TranslationTable):
+    """Full owner/offset map on every processor.
+
+    Construction models the all-gather of locally known fragments
+    (every processor initially knows only the elements it received).
+    """
+
+    def __init__(self, machine: Machine, dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS):
+        super().__init__(machine, dist, costs)
+        # model: allgather of (owner, offset) pairs for local fragments
+        frag = -(-dist.size // machine.n_procs)
+        allgather_cost(machine, frag * 2 * 4)  # two 32-bit words per element
+        machine.charge_compute_all(iops=float(dist.size) * 1.0)  # table fill
+
+    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        owners, lidx = self._translate(gidx)
+        self.machine.charge_compute(
+            p, iops=self.costs.translate_replicated * len(owners)
+        )
+        return owners, lidx
+
+
+class DistributedTranslationTable(TranslationTable):
+    """Paged table: pages block-distributed over processors.
+
+    Dereferencing a reference list costs, per distinct page owner:
+    a request message carrying the indices, a probe at the owner, and a
+    reply message carrying (owner, offset) pairs.
+    """
+
+    def __init__(self, machine: Machine, dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS):
+        super().__init__(machine, dist, costs)
+        self.pages = BlockDistribution(dist.size, machine.n_procs)
+        # construction: each element's (owner, offset) entry is sent to its
+        # page owner -- one all-to-all of table fragments
+        n = machine.n_procs
+        counts = np.zeros((n, n), dtype=np.int64)
+        if dist.size:
+            page_owner = np.asarray(self.pages.owner(np.arange(dist.size)))
+            data_owner = np.asarray(dist.owner(np.arange(dist.size)))
+            np.add.at(counts, (data_owner, page_owner), 1)
+        machine.exchange(
+            {
+                (src, dst): int(counts[src, dst]) * 2 * self.costs.index_bytes
+                for src in range(n)
+                for dst in range(n)
+                if src != dst and counts[src, dst]
+            }
+        )
+        fill = counts.sum(axis=0).astype(float)
+        machine.charge_compute_all(iops=[2.0 * c for c in fill])
+        machine.barrier()
+
+    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        g = np.asarray(gidx, dtype=np.int64)
+        owners, lidx = self._translate(g)
+        if g.size:
+            page_owner = np.asarray(self.pages.owner(g), dtype=np.int64)
+            m = self.machine
+            for q in np.unique(page_owner):
+                q = int(q)
+                cnt = int((page_owner == q).sum())
+                if q == p:
+                    m.charge_compute(p, iops=self.costs.translate_replicated * cnt)
+                    continue
+                # request: indices to page owner; probe there; reply: pairs
+                m.send(p, q, cnt * self.costs.index_bytes)
+                m.charge_compute(q, iops=self.costs.translate_remote * cnt)
+                m.send(q, p, cnt * 2 * self.costs.index_bytes)
+        return owners, lidx
+
+    def dereference_all(
+        self, ref_lists: list[np.ndarray]
+    ) -> list[tuple[np.ndarray, np.ndarray]]:
+        """Batched dereference: one request exchange, probes, one reply.
+
+        Loosely synchronous version used by inspectors: all processors'
+        requests travel in a single exchange phase, so wall time is the
+        max per-processor cost, not the sum.
+        """
+        m = self.machine
+        n = m.n_procs
+        if len(ref_lists) != n:
+            raise ValueError(f"expected {n} reference lists, got {len(ref_lists)}")
+        results = []
+        req_counts = np.zeros((n, n), dtype=np.int64)
+        for p, refs in enumerate(ref_lists):
+            g = np.asarray(refs, dtype=np.int64)
+            results.append(self._translate(g))
+            if g.size:
+                po = np.asarray(self.pages.owner(g), dtype=np.int64)
+                np.add.at(req_counts[p], po, 1)
+        # request exchange (indices), probe at owners, reply exchange (pairs)
+        m.exchange(
+            {
+                (p, q): int(req_counts[p, q]) * self.costs.index_bytes
+                for p in range(n)
+                for q in range(n)
+                if p != q and req_counts[p, q]
+            }
+        )
+        probe = req_counts.sum(axis=0).astype(float)
+        machine_iops = [self.costs.translate_remote * c for c in probe]
+        m.charge_compute_all(iops=machine_iops)
+        m.exchange(
+            {
+                (q, p): int(req_counts[p, q]) * 2 * self.costs.index_bytes
+                for p in range(n)
+                for q in range(n)
+                if p != q and req_counts[p, q]
+            }
+        )
+        m.barrier()
+        return results
+
+
+def build_translation_table(
+    machine: Machine,
+    dist: Distribution,
+    costs: ChaosCosts = DEFAULT_COSTS,
+    variant: str = "auto",
+) -> TranslationTable:
+    """Build the right translation table for a distribution.
+
+    ``variant``: "auto" (regular -> closed form, irregular -> distributed),
+    "regular", "replicated", or "distributed".
+    """
+    if variant == "auto":
+        variant = "regular" if dist.kind != "irregular" else "distributed"
+    if variant == "regular":
+        if dist.kind == "irregular":
+            raise ValueError("closed-form translation needs a regular distribution")
+        return RegularTranslationTable(machine, dist, costs)
+    if variant == "replicated":
+        return ReplicatedTranslationTable(machine, dist, costs)
+    if variant == "distributed":
+        return DistributedTranslationTable(machine, dist, costs)
+    raise ValueError(
+        f"unknown translation table variant {variant!r}; "
+        "choose auto | regular | replicated | distributed"
+    )

@@ -1,0 +1,58 @@
+"""The paper's primary contribution.
+
+Two mechanisms sit here, on top of the CHAOS runtime:
+
+* **Conservative communication-schedule reuse** (Section 3):
+  :class:`~repro.core.dad.DAD` data access descriptors, the global
+  ``nmod`` timestamp registry (:mod:`~repro.core.timestamps`), per-loop
+  inspector records (:mod:`~repro.core.records`) and the three-condition
+  reuse check (:mod:`~repro.core.reuse`).
+
+* **Compiler-coupled data partitioning** (Section 4): the GeoCoL
+  geometry/connectivity/load graph (:mod:`~repro.core.geocol`), the
+  mapper coupler that feeds it to a registered partitioner
+  (:mod:`~repro.core.mapper`), and loop-iteration partitioning under the
+  almost-owner-computes rule (:mod:`~repro.core.iteration`).
+
+:mod:`~repro.core.forall` defines the FORALL/REDUCE loop form the paper
+assumes; :mod:`~repro.core.inspector` / :mod:`~repro.core.executor`
+implement the inspector-executor transformation; and
+:mod:`~repro.core.program` ties everything into the runtime context that
+compiler-generated code (or a user, via the same API) drives.
+"""
+
+from repro.core.dad import DAD
+from repro.core.timestamps import ModificationRegistry
+from repro.core.records import InspectorRecord
+from repro.core.reuse import can_reuse, ReuseDecision
+from repro.core.forall import ArrayRef, Assign, Reduce, ForallLoop
+from repro.core.iteration import IterationPartition, partition_iterations
+from repro.core.geocol import GeoCoL, construct_geocol
+from repro.core.mapper import partition_geocol
+from repro.core.inspector import InspectorProduct, PatternData, run_inspector
+from repro.core.weights import derive_loop_weights
+from repro.core.executor import run_executor
+from repro.core.program import IrregularProgram
+
+__all__ = [
+    "DAD",
+    "ModificationRegistry",
+    "InspectorRecord",
+    "can_reuse",
+    "ReuseDecision",
+    "ArrayRef",
+    "Assign",
+    "Reduce",
+    "ForallLoop",
+    "IterationPartition",
+    "partition_iterations",
+    "GeoCoL",
+    "construct_geocol",
+    "partition_geocol",
+    "InspectorProduct",
+    "PatternData",
+    "run_inspector",
+    "run_executor",
+    "derive_loop_weights",
+    "IrregularProgram",
+]

@@ -1,0 +1,37 @@
+"""Data access descriptors (DADs).
+
+"A data access descriptor (DAD) for a distributed array contains (among
+other things) the current distribution type of the array (e.g. block,
+cyclic, irregular) and the size of the array." (Section 3.)
+
+Identity is by *content*: two arrays distributed identically share a DAD,
+which is exactly what lets the registry track "any array with a given
+DAD".  Remapping an array changes its distribution's signature and hence
+its DAD -- the reuse check sees a different descriptor and re-inspects.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distribution.distarray import DistArray
+
+
+@dataclass(frozen=True)
+class DAD:
+    """Descriptor of how one distributed array is currently laid out."""
+
+    kind: str
+    size: int
+    signature: tuple = field(compare=True)
+
+    @classmethod
+    def of(cls, arr: "DistArray") -> "DAD":
+        """The DAD of a distributed array's current distribution."""
+        dist = arr.distribution
+        return cls(kind=dist.kind, size=dist.size, signature=dist.signature())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"DAD({self.kind}, n={self.size})"

@@ -1,0 +1,185 @@
+"""The inspector: preprocessing for one FORALL loop (Phases B and D).
+
+For a loop L the inspector
+
+1. partitions L's iterations (Phase B, Section 4.3),
+2. for every distinct access pattern ``array(index(i))`` appearing in L,
+   builds the reference list each processor's iterations generate,
+   localizes it (translation, deduplication, ghost-slot assignment) and
+   builds the communication schedule (Phase D), and
+3. allocates ghost buffers bound to each pattern.
+
+The returned :class:`InspectorProduct` is exactly what the paper's reuse
+mechanism saves: "communication schedules, loop iteration partitions,
+information that associates off-processor data copies with on-processor
+buffer locations".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.chaos.buffers import GhostBuffers
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.localize import LocalizeResult, localize
+from repro.chaos.ttable import TranslationTable, build_translation_table
+from repro.core.forall import Assign, ForallLoop
+from repro.core.iteration import IterationPartition, partition_iterations
+from repro.distribution.distarray import DistArray
+from repro.machine.machine import Machine
+
+
+@dataclass
+class PatternData:
+    """Inspector output for one distinct ``array(index(i))`` pattern.
+
+    Under pattern coalescing (PARTI's incremental-schedule optimization)
+    several patterns on the same array share one ``LocalizeResult``
+    *schedule* and one ghost region; each pattern keeps its own
+    ``localized`` view whose ``local_refs`` index the shared space.
+    """
+
+    array: str
+    index: str | None
+    localized: LocalizeResult
+    ghosts: GhostBuffers
+
+
+@dataclass
+class InspectorProduct:
+    """Saved inspector results for one loop (the reusable artifact)."""
+
+    loop: ForallLoop
+    iteration_partition: IterationPartition
+    patterns: dict[tuple[str, str | None], PatternData]
+    dist_signatures: dict[str, tuple]
+
+    def pattern(self, array: str, index: str | None) -> PatternData:
+        return self.patterns[(array, index)]
+
+
+def run_inspector(
+    machine: Machine,
+    loop: ForallLoop,
+    arrays: dict[str, DistArray],
+    iter_method: str = "almost_owner",
+    ttable_variant: str = "auto",
+    costs: ChaosCosts = DEFAULT_COSTS,
+    ttables: dict[tuple[str, tuple], TranslationTable] | None = None,
+    coalesce_patterns: bool = False,
+) -> InspectorProduct:
+    """Run the full inspector for ``loop``.
+
+    ``ttables`` is an optional cache of translation tables keyed by
+    ``(array name, distribution signature)``; the program context passes
+    one so repeated inspections of differently-indexed loops over the
+    same arrays don't rebuild tables.
+
+    ``coalesce_patterns=True`` applies PARTI's incremental-schedule idea:
+    all patterns referencing one array are localized *together*, so an
+    element reached through two indirections is fetched once and the
+    loop gathers one schedule per array instead of one per pattern.
+    """
+    for name in loop.data_arrays() + loop.indirection_arrays():
+        if name not in arrays:
+            raise KeyError(f"loop {loop.name!r} references unbound array {name!r}")
+
+    # Phase B: iteration partition
+    itpart = partition_iterations(machine, loop, arrays, iter_method, costs)
+
+    # Phase D: localize every distinct access pattern
+    n_procs = machine.n_procs
+    direct_cache: dict[int, list[np.ndarray]] = {}
+    ind_cache: dict[str, np.ndarray] = {}
+    patterns: dict[tuple[str, str | None], PatternData] = {}
+
+    def per_proc_refs(index: str | None) -> list[np.ndarray]:
+        """Global element indices each processor's iterations touch."""
+        if index is None:
+            key = 0
+            if key not in direct_cache:
+                direct_cache[key] = [it.copy() for it in itpart.iters]
+            return direct_cache[key]
+        if index not in ind_cache:
+            ind_cache[index] = arrays[index].to_global().astype(np.int64)
+        values = ind_cache[index]
+        return [values[it] for it in itpart.iters]
+
+    def get_ttable(array_name: str) -> TranslationTable:
+        arr = arrays[array_name]
+        tkey = (array_name, arr.distribution.signature())
+        if ttables is not None and tkey in ttables:
+            return ttables[tkey]
+        tt = build_translation_table(machine, arr.distribution, costs, ttable_variant)
+        if ttables is not None:
+            ttables[tkey] = tt
+        return tt
+
+    # distinct patterns per array, in first-appearance order
+    by_array: dict[str, list[str | None]] = {}
+    for ref in loop.refs():
+        idxs = by_array.setdefault(ref.array, [])
+        if ref.index not in idxs:
+            idxs.append(ref.index)
+
+    # arrays assigned (overwrite semantics) must keep per-pattern ghost
+    # regions: a coalesced region would contain never-assigned slots
+    # whose staging fill could overwrite owner data on scatter
+    assign_targets = {
+        s.lhs.array for s in loop.statements if isinstance(s, Assign)
+    }
+
+    for array_name, indexes in by_array.items():
+        arr = arrays[array_name]
+        tt = get_ttable(array_name)
+        if (
+            not coalesce_patterns
+            or len(indexes) == 1
+            or array_name in assign_targets
+        ):
+            for index in indexes:
+                loc = localize(machine, tt, per_proc_refs(index), costs)
+                ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
+                patterns[(array_name, index)] = PatternData(
+                    array=array_name, index=index, localized=loc, ghosts=ghosts
+                )
+            continue
+        # coalesced: localize the union of all patterns' reference lists
+        per_pattern = [per_proc_refs(index) for index in indexes]
+        combined = [
+            np.concatenate([per_pattern[k][p] for k in range(len(indexes))])
+            if any(per_pattern[k][p].size for k in range(len(indexes)))
+            else np.empty(0, dtype=np.int64)
+            for p in range(n_procs)
+        ]
+        loc = localize(machine, tt, combined, costs)
+        ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
+        # split the localized reference lists back out per pattern
+        for k, index in enumerate(indexes):
+            split_refs = []
+            for p in range(n_procs):
+                start = sum(per_pattern[j][p].size for j in range(k))
+                stop = start + per_pattern[k][p].size
+                split_refs.append(loc.local_refs[p][start:stop])
+            view = LocalizeResult(
+                local_refs=split_refs,
+                ghost_globals=loc.ghost_globals,
+                local_sizes=loc.local_sizes,
+                schedule=loc.schedule,
+            )
+            patterns[(array_name, index)] = PatternData(
+                array=array_name, index=index, localized=view, ghosts=ghosts
+            )
+
+    dist_signatures = {
+        name: arrays[name].distribution.signature()
+        for name in loop.data_arrays()
+    }
+    return InspectorProduct(
+        loop=loop,
+        iteration_partition=itpart,
+        patterns=patterns,
+        dist_signatures=dist_signatures,
+    )

@@ -1,0 +1,433 @@
+"""The runtime context compiler-generated code drives.
+
+``IrregularProgram`` owns one simulated machine plus the global state the
+paper's scheme needs: the modification registry (``nmod``/``last_mod``),
+per-loop inspector records, named decompositions/arrays/GeoCoL graphs,
+and a translation-table cache.  Its methods correspond one-to-one to the
+code blocks the Fortran 90D compiler emits (Figure 6):
+
+=====================  =====================================  ==========
+method                 directive / transformation             phase name
+=====================  =====================================  ==========
+``decomposition``      DECOMPOSITION                          --
+``distribute``         DISTRIBUTE                             --
+``array``              ALIGN (+ data definition)              --
+``construct``          CONSTRUCT -> K1 (GeoCoL generation)    graph_generation
+``set_distribution``   SET..BY PARTITIONING..USING -> K2/K3   partition
+``redistribute``       REDISTRIBUTE -> K4 (remap)             remap
+``forall``             FORALL -> inspector + executor         inspector / executor
+=====================  =====================================  ==========
+
+With ``track=True`` (default) the context maintains the runtime record of
+possible array modifications and performs the conservative reuse check
+before every inspector -- the compiled path.  ``track=False`` is the
+hand-coded baseline: no bookkeeping is charged, and schedule reuse is
+whatever the caller arranges manually.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.remap import remap_arrays
+from repro.core.dad import DAD
+from repro.core.forall import ForallLoop
+from repro.core.geocol import GeoCoL, construct_geocol
+from repro.core.inspector import run_inspector
+from repro.core.executor import run_executor
+from repro.core.mapper import partition_geocol
+from repro.core.records import InspectorRecord
+from repro.core.reuse import can_reuse
+from repro.core.timestamps import ModificationRegistry
+from repro.distribution.base import Distribution
+from repro.distribution.decomposition import Decomposition
+from repro.distribution.distarray import DistArray
+from repro.distribution.irregular import IrregularDistribution
+from repro.distribution.regular import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+)
+from repro.machine.machine import Machine
+from repro.partitioners.base import PartitionResult
+
+#: integer ops charged per tracked array for one runtime-record check
+CHECK_IOPS_PER_ARRAY = 15.0
+#: integer ops charged for stamping one writing block into the registry
+RECORD_WRITE_IOPS = 8.0
+
+
+class IrregularProgram:
+    """Runtime context: machine + arrays + the paper's global records."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        iter_method: str = "almost_owner",
+        ttable_variant: str = "auto",
+        costs: ChaosCosts = DEFAULT_COSTS,
+        executor_overhead: float = 1.0,
+        track: bool = True,
+        merge_communication: bool = False,
+        coalesce_patterns: bool = False,
+        tracking_scope: str = "all",
+    ):
+        """``tracking_scope`` selects what the runtime record covers:
+        ``"all"`` (the paper's implementation: every distributed-array
+        write is stamped) or ``"indirection"`` (the Section 3 "future
+        work" optimization: only writes to arrays sharing a DAD with
+        some loop's indirection array are stamped, cutting tracking
+        cost; the information would come from interprocedural analysis,
+        which we approximate by registering indirection DADs as loops
+        are first inspected)."""
+        if tracking_scope not in ("all", "indirection"):
+            raise ValueError(
+                f"unknown tracking scope {tracking_scope!r}; "
+                "choose all | indirection"
+            )
+        self.machine = machine
+        self.iter_method = iter_method
+        self.ttable_variant = ttable_variant
+        self.costs = costs
+        self.executor_overhead = executor_overhead
+        self.track = track
+        self.merge_communication = merge_communication
+        self.coalesce_patterns = coalesce_patterns
+        self.tracking_scope = tracking_scope
+        self._indirection_dads: set[tuple] = set()
+        self.registry = ModificationRegistry()
+        self.arrays: dict[str, DistArray] = {}
+        self.decomps: dict[str, Decomposition] = {}
+        self.geocols: dict[str, GeoCoL] = {}
+        self.distfmts: dict[str, Distribution] = {}
+        self.records: dict[str, InspectorRecord] = {}
+        self.ttables: dict = {}
+        # statistics the benches report
+        self.inspector_runs = 0
+        self.reuse_hits = 0
+        self.geocol_reuse_hits = 0
+
+    # ------------------------------------------------------------------
+    # Fortran D data declarations
+    # ------------------------------------------------------------------
+    def decomposition(self, name: str, size: int) -> Decomposition:
+        """DECOMPOSITION name(size)."""
+        if name in self.decomps:
+            raise ValueError(f"decomposition {name!r} already declared")
+        dec = Decomposition(name, size)
+        self.decomps[name] = dec
+        return dec
+
+    def distribute(self, decomp: str, spec) -> None:
+        """DISTRIBUTE decomp(spec); spec is "block", "cyclic",
+        ("block_cyclic", b), or a Distribution instance."""
+        dec = self._decomp(decomp)
+        dec.distribute(self._resolve_spec(dec.size, spec))
+
+    def _resolve_spec(self, size: int, spec) -> Distribution:
+        n = self.machine.n_procs
+        if isinstance(spec, Distribution):
+            return spec
+        if spec == "block":
+            return BlockDistribution(size, n)
+        if spec == "cyclic":
+            return CyclicDistribution(size, n)
+        if isinstance(spec, tuple) and len(spec) == 2 and spec[0] == "block_cyclic":
+            return BlockCyclicDistribution(size, n, spec[1])
+        if isinstance(spec, str) and spec in self.distfmts:
+            return self.distfmts[spec]
+        raise ValueError(f"unknown distribution spec {spec!r}")
+
+    def distribute_by_map(self, decomp: str, map_array: str) -> None:
+        """DISTRIBUTE decomp(map): the paper's Figure 3 mechanism.
+
+        "An irregular distribution is specified using an integer array;
+        when map(i) is set equal to p, element i of the distribution
+        irreg is assigned to processor p."  The map array must already
+        be declared, aligned and filled with processor ids.
+        """
+        dec = self._decomp(decomp)
+        marr = self._array(map_array)
+        if not np.issubdtype(marr.dtype, np.integer):
+            raise ValueError(
+                f"map array {map_array!r} must be INTEGER, has {marr.dtype}"
+            )
+        if marr.size != dec.size:
+            raise ValueError(
+                f"map array {map_array!r} has size {marr.size}, "
+                f"decomposition {decomp!r} has size {dec.size}"
+            )
+        owners = marr.to_global().astype(np.int64)
+        dist = IrregularDistribution(owners, self.machine.n_procs)
+        # building the distribution from a distributed map array costs a
+        # gather of the map fragments (modeled as an allgather)
+        from repro.machine.collectives import allgather_cost
+
+        allgather_cost(
+            self.machine,
+            -(-dec.size // self.machine.n_procs) * self.costs.index_bytes,
+        )
+        if dec.arrays:
+            # live arrays: DISTRIBUTE after ALIGN means a remap
+            self.redistribute(decomp, dist)
+        else:
+            dec.distribute(dist)
+
+    def array(
+        self, name: str, decomp: str, values=None, dtype=np.float64
+    ) -> DistArray:
+        """Declare an array and ALIGN it with a decomposition."""
+        if name in self.arrays:
+            raise ValueError(f"array {name!r} already declared")
+        dec = self._decomp(decomp)
+        if dec.distribution is None:
+            raise ValueError(f"decomposition {decomp!r} is not distributed yet")
+        if values is not None:
+            arr = DistArray.from_global(
+                self.machine, dec.distribution, np.asarray(values), name=name
+            )
+        else:
+            arr = DistArray(self.machine, dec.distribution, dtype=dtype, name=name)
+        dec.align(arr)
+        self.arrays[name] = arr
+        if self.track:
+            self._record_write([arr])
+        return arr
+
+    def set_array(self, name: str, values) -> None:
+        """Overwrite an array's contents (a writing statement/intrinsic)."""
+        arr = self._array(name)
+        values = np.asarray(values)
+        if values.shape != (arr.size,):
+            raise ValueError(
+                f"expected shape ({arr.size},), got {values.shape}"
+            )
+        for p in range(self.machine.n_procs):
+            arr.local(p)[:] = values[arr.distribution.local_indices(p)].astype(
+                arr.dtype
+            )
+        self.machine.charge_compute_all(
+            mem=[float(arr.distribution.local_size(p)) for p in range(self.machine.n_procs)]
+        )
+        if self.track:
+            self._record_write([arr])
+
+    # ------------------------------------------------------------------
+    # Section 4 directives
+    # ------------------------------------------------------------------
+    def construct(
+        self,
+        name: str,
+        n_vertices: int,
+        geometry: list[str] | None = None,
+        load: str | None = None,
+        link: tuple[str, str] | None = None,
+    ) -> GeoCoL:
+        """CONSTRUCT name (n, GEOMETRY(...), LOAD(...), LINK(...)).
+
+        With tracking enabled, an unchanged GeoCoL (same source DADs and
+        modification stamps) is reused rather than regenerated -- the
+        Section 3 mechanism applied to mapper coupling.
+        """
+        geo_arrays = [self._array(a) for a in geometry] if geometry else None
+        load_array = self._array(load) if load else None
+        link_arrays = (
+            (self._array(link[0]), self._array(link[1])) if link else None
+        )
+        if self.track and name in self.geocols:
+            old = self.geocols[name]
+            self.machine.charge_compute_all(
+                iops=CHECK_IOPS_PER_ARRAY * max(len(old.source_dads), 1)
+            )
+            if self._geocol_fresh(old):
+                self.geocol_reuse_hits += 1
+                return old
+        with self.machine.phase("graph_generation"):
+            g = construct_geocol(
+                self.machine,
+                name,
+                n_vertices,
+                geometry=geo_arrays,
+                load=load_array,
+                link=link_arrays,
+            )
+        g.source_last_mod = {
+            aname: self.registry.last_mod(dad)
+            for aname, dad in g.source_dads.items()
+        }
+        # GeoCoL freshness uses the same stamps, so its source DADs must
+        # be tracked under the narrowed scope too
+        for dad in g.source_dads.values():
+            self._indirection_dads.add(dad.signature)
+        self.geocols[name] = g
+        return g
+
+    def _geocol_fresh(self, g: GeoCoL) -> bool:
+        for aname, dad in g.source_dads.items():
+            arr = self.arrays.get(aname)
+            if arr is None or DAD.of(arr) != dad:
+                return False
+            if self.registry.last_mod(DAD.of(arr)) != g.source_last_mod.get(aname):
+                return False
+        return True
+
+    def set_distribution(
+        self,
+        target: str,
+        geocol: str,
+        partitioner,
+        n_parts: int | None = None,
+        **kwargs,
+    ) -> Distribution:
+        """SET target BY PARTITIONING geocol USING partitioner."""
+        try:
+            g = self.geocols[geocol]
+        except KeyError:
+            raise KeyError(f"GeoCoL {geocol!r} was never constructed") from None
+        with self.machine.phase("partition"):
+            dist, result = partition_geocol(
+                self.machine, g, partitioner, n_parts, **kwargs
+            )
+        self.distfmts[target] = dist
+        self._last_partition_result = result
+        return dist
+
+    def redistribute(self, decomp: str, fmt) -> None:
+        """REDISTRIBUTE decomp(fmt): remap every aligned array.
+
+        ``fmt`` is a name stored by :meth:`set_distribution` or a
+        Distribution instance.
+        """
+        dec = self._decomp(decomp)
+        new_dist = (
+            self.distfmts[fmt]
+            if isinstance(fmt, str) and fmt in self.distfmts
+            else self._resolve_spec(dec.size, fmt)
+        )
+        if new_dist.size != dec.size:
+            raise ValueError(
+                f"distribution size {new_dist.size} != decomposition "
+                f"{decomp!r} size {dec.size}"
+            )
+        with self.machine.phase("remap"):
+            if dec.arrays:
+                remap_arrays(dec.arrays, new_dist, self.costs)
+            dec.distribution = new_dist
+        if self.track:
+            for arr in dec.arrays:
+                self.registry.record_remap(DAD.of(arr))
+            self.machine.charge_compute_all(
+                iops=RECORD_WRITE_IOPS * max(len(dec.arrays), 1)
+            )
+
+    # ------------------------------------------------------------------
+    # FORALL
+    # ------------------------------------------------------------------
+    def forall(self, loop: ForallLoop, n_times: int = 1, reuse: bool = True) -> None:
+        """Run a FORALL loop ``n_times``.
+
+        ``reuse=True`` (the paper's mechanism): before each run the saved
+        inspector record is checked against the runtime modification
+        record and reused when valid.  ``reuse=False``: the inspector is
+        repeated before every execution (Table 1's "No Schedule Reuse").
+        """
+        if n_times < 0:
+            raise ValueError(f"negative execution count {n_times}")
+        for _ in range(n_times):
+            product = self._inspect(loop, reuse)
+            with self.machine.phase("executor"):
+                run_executor(
+                    self.machine,
+                    product,
+                    self.arrays,
+                    n_times=1,
+                    overhead_factor=self.executor_overhead,
+                    merge_communication=self.merge_communication,
+                )
+            if self.track:
+                self._record_write(
+                    [self.arrays[a] for a in loop.written_arrays()]
+                )
+
+    def _inspect(self, loop: ForallLoop, reuse: bool):
+        record = self.records.get(loop.name)
+        if reuse and record is not None:
+            if self.track:
+                n_tracked = len(record.tracked_arrays())
+                self.machine.charge_compute_all(
+                    iops=CHECK_IOPS_PER_ARRAY * n_tracked
+                )
+                decision = can_reuse(record, self.arrays, self.registry)
+            else:
+                # hand-coded path: caller asked for reuse, trust it
+                decision = True
+            if decision:
+                self.reuse_hits += 1
+                return record.product
+        with self.machine.phase("inspector"):
+            product = run_inspector(
+                self.machine,
+                loop,
+                self.arrays,
+                iter_method=self.iter_method,
+                ttable_variant=self.ttable_variant,
+                costs=self.costs,
+                ttables=self.ttables,
+                coalesce_patterns=self.coalesce_patterns,
+            )
+        self.inspector_runs += 1
+        for a in loop.indirection_arrays():
+            self._indirection_dads.add(DAD.of(self.arrays[a]).signature)
+        self.records[loop.name] = InspectorRecord(
+            loop_name=loop.name,
+            data_dads={a: DAD.of(self.arrays[a]) for a in loop.data_arrays()},
+            ind_dads={a: DAD.of(self.arrays[a]) for a in loop.indirection_arrays()},
+            ind_last_mod={
+                a: self.registry.last_mod(DAD.of(self.arrays[a]))
+                for a in loop.indirection_arrays()
+            },
+            product=product,
+        )
+        return product
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+    def _record_write(self, arrays: list[DistArray]) -> None:
+        dads = [DAD.of(a) for a in arrays]
+        if self.tracking_scope == "indirection":
+            # Section 3 optimization: only DADs known to be shared with
+            # some loop's indirection arrays need stamping.  The check
+            # stays conservative because indirection DADs are registered
+            # before any record for that loop exists.
+            dads = [d for d in dads if d.signature in self._indirection_dads]
+            if not dads:
+                # still a writing block: nmod advances, nothing stamped
+                self.registry.record_block_write([])
+                self.machine.charge_compute_all(iops=RECORD_WRITE_IOPS)
+                return
+        self.registry.record_block_write(dads)
+        self.machine.charge_compute_all(iops=RECORD_WRITE_IOPS * max(len(dads), 1))
+
+    def _decomp(self, name: str) -> Decomposition:
+        try:
+            return self.decomps[name]
+        except KeyError:
+            raise KeyError(f"decomposition {name!r} was never declared") from None
+
+    def _array(self, name: str) -> DistArray:
+        try:
+            return self.arrays[name]
+        except KeyError:
+            raise KeyError(f"array {name!r} was never declared") from None
+
+    def phase_time(self, name: str) -> float:
+        return self.machine.phase_time(name)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"IrregularProgram(procs={self.machine.n_procs}, "
+            f"arrays={len(self.arrays)}, loops={len(self.records)}, "
+            f"nmod={self.registry.nmod})"
+        )

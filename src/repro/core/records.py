@@ -1,0 +1,47 @@
+"""Per-loop saved inspector state.
+
+"Each time an inspector for L is carried out, we store the following
+information: DAD(x_i) for each unique data array, DAD(ind_j) for each
+unique indirection array, and last_mod(DAD(ind_j))." (Section 3.)
+
+The record also keeps the inspector's *products* -- iteration partition,
+communication schedules, ghost-buffer bindings -- because those are what
+reuse actually saves.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any
+
+from repro.core.dad import DAD
+
+
+@dataclass
+class InspectorRecord:
+    """What loop L's last inspector saw and produced.
+
+    Attributes
+    ----------
+    loop_name:
+        The FORALL loop this record belongs to.
+    data_dads:
+        ``L.DAD(x_i)`` -- descriptor of each data array at inspection.
+    ind_dads:
+        ``L.DAD(ind_j)`` -- descriptor of each indirection array.
+    ind_last_mod:
+        ``L.last_mod(DAD(ind_j))`` -- the global timestamp each
+        indirection array's DAD carried when the inspector ran.
+    product:
+        The saved inspector output (an
+        :class:`~repro.core.inspector.InspectorProduct`); opaque here.
+    """
+
+    loop_name: str
+    data_dads: dict[str, DAD]
+    ind_dads: dict[str, DAD]
+    ind_last_mod: dict[str, int]
+    product: Any
+
+    def tracked_arrays(self) -> set[str]:
+        return set(self.data_dads) | set(self.ind_dads)

@@ -1,0 +1,87 @@
+"""The conservative schedule-reuse check (Section 3).
+
+"After the first time L's inspector has been executed, the following
+checks are performed before the subsequent executions of L.  If any of
+the following conditions is false, the inspector must be repeated:
+
+1. DAD(x_i) == L.DAD(x_i),                      1 <= i <= m
+2. DAD(ind_j) == L.DAD(ind_j),                  1 <= j <= n
+3. last_mod(DAD(ind_j)) == L.last_mod(DAD(ind_j)), 1 <= j <= n"
+
+The check is *conservative*: a block that wrote any array sharing an
+indirection array's DAD invalidates reuse even if the specific values
+used for indirection are untouched.  It can force unnecessary
+re-inspection; it can never wrongly reuse (the property test in
+``tests/core/test_reuse.py`` hammers on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.dad import DAD
+from repro.core.records import InspectorRecord
+from repro.core.timestamps import ModificationRegistry
+from repro.distribution.distarray import DistArray
+
+
+@dataclass(frozen=True)
+class ReuseDecision:
+    """Outcome of the check, with the failed condition for diagnostics."""
+
+    reusable: bool
+    reason: str
+
+    def __bool__(self) -> bool:  # pragma: no cover - convenience
+        return self.reusable
+
+
+def can_reuse(
+    record: InspectorRecord,
+    arrays: dict[str, DistArray],
+    registry: ModificationRegistry,
+) -> ReuseDecision:
+    """Decide whether loop L's saved inspector results are still valid.
+
+    Parameters
+    ----------
+    record:
+        The state saved by L's last inspector.
+    arrays:
+        Current name -> DistArray bindings (must cover every array the
+        record tracks).
+    registry:
+        The program's global modification registry.
+    """
+    for name, saved in record.data_dads.items():
+        current = _current_dad(arrays, name)
+        if current != saved:
+            return ReuseDecision(
+                False, f"condition 1: data array {name!r} DAD changed"
+            )
+    for name, saved in record.ind_dads.items():
+        current = _current_dad(arrays, name)
+        if current != saved:
+            return ReuseDecision(
+                False, f"condition 2: indirection array {name!r} DAD changed"
+            )
+    for name, saved_stamp in record.ind_last_mod.items():
+        current = _current_dad(arrays, name)
+        if registry.last_mod(current) != saved_stamp:
+            return ReuseDecision(
+                False,
+                f"condition 3: indirection array {name!r} may have been "
+                f"modified (last_mod {registry.last_mod(current)} != "
+                f"recorded {saved_stamp})",
+            )
+    return ReuseDecision(True, "all conditions hold")
+
+
+def _current_dad(arrays: dict[str, DistArray], name: str) -> DAD:
+    try:
+        arr = arrays[name]
+    except KeyError:
+        raise KeyError(
+            f"array {name!r} tracked by an inspector record is not bound"
+        ) from None
+    return DAD.of(arr)

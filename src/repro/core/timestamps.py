@@ -1,0 +1,61 @@
+"""The global modification timestamp: ``nmod`` and ``last_mod``.
+
+"We maintain a global variable nmod which represents the cumulative
+number of Fortran 90D loops, array intrinsics or statements that have
+modified any distributed array.  [...]  nmod may be viewed as a global
+time stamp.  Each time we modify an array a with a given data access
+descriptor DAD(a), we update a global data structure last_mod to
+associate DAD(a) with the current value of the global variable nmod."
+(Section 3.)
+
+Crucially this counts *executions of writing code blocks*, not element
+assignments -- one increment per loop / intrinsic / statement execution,
+which is what keeps the tracking overhead negligible in compute-heavy
+data-parallel codes.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.dad import DAD
+
+
+class ModificationRegistry:
+    """Tracks ``nmod`` and ``last_mod(DAD)`` for one program run."""
+
+    def __init__(self) -> None:
+        self.nmod = 0
+        self._last_mod: dict[tuple, int] = {}
+
+    def record_block_write(self, dads: Iterable[DAD]) -> int:
+        """One writing block (loop / intrinsic / statement) executed.
+
+        Increments ``nmod`` once and stamps every DAD the block may have
+        written.  Returns the new ``nmod``.
+        """
+        self.nmod += 1
+        for dad in dads:
+            self._last_mod[dad.signature] = self.nmod
+        return self.nmod
+
+    def record_remap(self, new_dad: DAD) -> int:
+        """An array was remapped: its DAD changed.
+
+        "If the array a is remapped, it means that DAD(a) changes.  In
+        this case, we increment nmod and then set
+        last_mod(DAD(a)) = nmod."
+        """
+        self.nmod += 1
+        self._last_mod[new_dad.signature] = self.nmod
+        return self.nmod
+
+    def last_mod(self, dad: DAD) -> int:
+        """Timestamp of the last possible write to arrays with this DAD.
+
+        A DAD never recorded returns 0 (older than every real stamp).
+        """
+        return self._last_mod.get(dad.signature, 0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"ModificationRegistry(nmod={self.nmod}, tracked={len(self._last_mod)})"

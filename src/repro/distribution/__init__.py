@@ -1,0 +1,36 @@
+"""Distributed-array layer.
+
+Long-term storage of a distributed array is assigned to specific processor
+memories through a :class:`Distribution`: a mapping from global indices to
+``(owner processor, local offset)`` pairs.  Fortran D's regular
+distributions (BLOCK, CYCLIC, BLOCK-CYCLIC) are closed-form; the paper's
+central object is the *irregular* distribution, an arbitrary owner map
+produced by a partitioner.
+
+``Decomposition`` mirrors the Fortran D template (DECOMPOSITION /
+DISTRIBUTE / ALIGN): arrays aligned with a decomposition share its
+distribution and are remapped together when it is redistributed.
+
+``DistArray`` stores the actual per-processor local segments (NumPy
+arrays) and binds them to a distribution on a simulated machine.
+"""
+
+from repro.distribution.base import Distribution
+from repro.distribution.regular import (
+    BlockDistribution,
+    CyclicDistribution,
+    BlockCyclicDistribution,
+)
+from repro.distribution.irregular import IrregularDistribution
+from repro.distribution.decomposition import Decomposition
+from repro.distribution.distarray import DistArray
+
+__all__ = [
+    "Distribution",
+    "BlockDistribution",
+    "CyclicDistribution",
+    "BlockCyclicDistribution",
+    "IrregularDistribution",
+    "Decomposition",
+    "DistArray",
+]

@@ -1,0 +1,98 @@
+"""Abstract distribution: global index -> (owner, local offset).
+
+All index maps are vectorized over NumPy integer arrays; scalar ints work
+too and return NumPy scalars.  Implementations must satisfy, for every
+global index g and processor p:
+
+    owner(g) in [0, n_procs)
+    local_index(g) in [0, local_size(owner(g)))
+    global_index(owner(g), local_index(g)) == g          (bijectivity)
+    sum_p local_size(p) == size
+
+The property-based tests in ``tests/distribution`` enforce these on every
+concrete distribution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+
+class Distribution(ABC):
+    """Mapping of a 1-D global index space onto processor memories."""
+
+    #: short lowercase tag used by data access descriptors ("block", ...)
+    kind: str = "abstract"
+
+    def __init__(self, size: int, n_procs: int):
+        if size < 0:
+            raise ValueError(f"negative array size {size}")
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.size = int(size)
+        self.n_procs = int(n_procs)
+
+    # -- required ---------------------------------------------------------
+    @abstractmethod
+    def owner(self, gidx):
+        """Owning processor of each global index."""
+
+    @abstractmethod
+    def local_index(self, gidx):
+        """Offset of each global index within its owner's local segment."""
+
+    @abstractmethod
+    def global_index(self, p: int, lidx):
+        """Global index of local offset ``lidx`` on processor ``p``."""
+
+    @abstractmethod
+    def local_size(self, p: int) -> int:
+        """Number of elements stored on processor ``p``."""
+
+    # -- derived ------------------------------------------------------------
+    def local_indices(self, p: int) -> np.ndarray:
+        """Global indices owned by processor ``p``, in local-offset order."""
+        self._check_proc(p)
+        n = self.local_size(p)
+        return np.asarray(self.global_index(p, np.arange(n, dtype=np.int64)))
+
+    def owner_map(self) -> np.ndarray:
+        """Dense owner array of length ``size`` (for tests and GeoCoL)."""
+        return np.asarray(self.owner(np.arange(self.size, dtype=np.int64)))
+
+    def signature(self) -> tuple:
+        """Hashable identity used by data access descriptors.
+
+        Two distributions with equal signatures place every element
+        identically.  Regular distributions are summarized by their
+        parameters; the irregular distribution includes a content hash of
+        its owner map (see ``IrregularDistribution.signature``).
+        """
+        return (self.kind, self.size, self.n_procs)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Distribution) and self.signature() == other.signature()
+
+    def __hash__(self) -> int:
+        return hash(self.signature())
+
+    # -- helpers ------------------------------------------------------------
+    def _check_proc(self, p: int) -> None:
+        if not 0 <= p < self.n_procs:
+            raise ValueError(f"processor id {p} out of range [0, {self.n_procs})")
+
+    def _check_gidx(self, gidx) -> np.ndarray:
+        g = np.asarray(gidx, dtype=np.int64)
+        if g.size and (g.min() < 0 or g.max() >= self.size):
+            bad = g[(g < 0) | (g >= self.size)][0]
+            raise IndexError(
+                f"global index {bad} out of range [0, {self.size})"
+            )
+        return g
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(size={self.size}, n_procs={self.n_procs})"
+        )

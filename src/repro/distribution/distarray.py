@@ -1,0 +1,155 @@
+"""Distributed arrays: per-processor local segments bound to a distribution.
+
+A ``DistArray`` owns one NumPy array per virtual processor.  The runtime
+(CHAOS layer) moves data between segments through communication schedules
+and charges the machine for it; the convenience accessors here
+(``to_global`` / ``from_global`` / ``global_get``) exist for construction,
+verification and tests, and deliberately charge *nothing*.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.machine.machine import Machine
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.distribution.decomposition import Decomposition
+
+_uid_counter = itertools.count(1)
+
+
+class DistArray:
+    """A 1-D distributed array on a simulated machine."""
+
+    def __init__(
+        self,
+        machine: Machine,
+        distribution: Distribution,
+        dtype=np.float64,
+        name: str | None = None,
+        fill=0,
+    ):
+        if distribution.n_procs != machine.n_procs:
+            raise ValueError(
+                f"distribution spans {distribution.n_procs} processors, machine "
+                f"has {machine.n_procs}"
+            )
+        self.machine = machine
+        self.distribution = distribution
+        self.dtype = np.dtype(dtype)
+        self.uid = next(_uid_counter)
+        self.name = name if name is not None else f"arr{self.uid}"
+        self.decomposition: "Decomposition | None" = None
+        self._local = [
+            np.full(distribution.local_size(p), fill, dtype=self.dtype)
+            for p in range(machine.n_procs)
+        ]
+
+    # -- construction ---------------------------------------------------------
+    @classmethod
+    def from_global(
+        cls,
+        machine: Machine,
+        distribution: Distribution,
+        values,
+        name: str | None = None,
+    ) -> "DistArray":
+        """Scatter a global NumPy array into local segments (no cost charged)."""
+        values = np.asarray(values)
+        if values.ndim != 1:
+            raise ValueError(f"expected a 1-D array, got shape {values.shape}")
+        if values.size != distribution.size:
+            raise ValueError(
+                f"value count {values.size} != distribution size {distribution.size}"
+            )
+        arr = cls(machine, distribution, dtype=values.dtype, name=name)
+        for p in range(machine.n_procs):
+            arr._local[p][:] = values[distribution.local_indices(p)]
+        return arr
+
+    # -- basic properties -------------------------------------------------------
+    @property
+    def size(self) -> int:
+        return self.distribution.size
+
+    @property
+    def itemsize(self) -> int:
+        return self.dtype.itemsize
+
+    def local(self, p: int) -> np.ndarray:
+        """The local segment of processor ``p`` (a live view, not a copy)."""
+        if not 0 <= p < self.machine.n_procs:
+            raise ValueError(
+                f"processor id {p} out of range [0, {self.machine.n_procs})"
+            )
+        return self._local[p]
+
+    # -- global views (test/verification helpers; charge nothing) -------------
+    def to_global(self) -> np.ndarray:
+        """Assemble the global array from local segments."""
+        out = np.empty(self.size, dtype=self.dtype)
+        for p in range(self.machine.n_procs):
+            out[self.distribution.local_indices(p)] = self._local[p]
+        return out
+
+    def global_get(self, gidx) -> np.ndarray:
+        """Read values at global indices, regardless of owner."""
+        g = np.asarray(gidx, dtype=np.int64)
+        owners = np.asarray(self.distribution.owner(g))
+        lidx = np.asarray(self.distribution.local_index(g))
+        out = np.empty(g.shape, dtype=self.dtype)
+        flat_o, flat_l = owners.ravel(), lidx.ravel()
+        flat_out = out.ravel()
+        for p in np.unique(flat_o):
+            sel = flat_o == p
+            flat_out[sel] = self._local[int(p)][flat_l[sel]]
+        return out
+
+    def global_set(self, gidx, values) -> None:
+        """Write values at global indices, regardless of owner."""
+        g = np.asarray(gidx, dtype=np.int64)
+        vals = np.broadcast_to(np.asarray(values, dtype=self.dtype), g.shape)
+        owners = np.asarray(self.distribution.owner(g))
+        lidx = np.asarray(self.distribution.local_index(g))
+        for p in np.unique(owners):
+            sel = owners == p
+            self._local[int(p)][lidx[sel]] = vals[sel]
+
+    # -- rebinding (used by CHAOS remap) ---------------------------------------
+    def rebind(self, distribution: Distribution, new_locals: list[np.ndarray]) -> None:
+        """Replace distribution and local segments after a remap.
+
+        Callers (``repro.chaos.remap``) are responsible for having moved
+        the data and charged the machine; this only swaps the bindings,
+        validating shapes.
+        """
+        if distribution.size != self.size:
+            raise ValueError(
+                f"remap changed array size: {self.size} -> {distribution.size}"
+            )
+        if distribution.n_procs != self.machine.n_procs:
+            raise ValueError("remap distribution spans a different machine size")
+        if len(new_locals) != self.machine.n_procs:
+            raise ValueError(
+                f"expected {self.machine.n_procs} local segments, got {len(new_locals)}"
+            )
+        for p, seg in enumerate(new_locals):
+            want = distribution.local_size(p)
+            if seg.shape != (want,):
+                raise ValueError(
+                    f"segment for processor {p} has shape {seg.shape}, "
+                    f"expected ({want},)"
+                )
+        self.distribution = distribution
+        self._local = [np.ascontiguousarray(seg, dtype=self.dtype) for seg in new_locals]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"DistArray({self.name!r}, size={self.size}, dtype={self.dtype}, "
+            f"{self.distribution.kind})"
+        )

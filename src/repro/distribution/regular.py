@@ -1,0 +1,120 @@
+"""Regular (closed-form) Fortran D distributions: BLOCK, CYCLIC, BLOCK-CYCLIC."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+
+
+class BlockDistribution(Distribution):
+    """HPF BLOCK: contiguous chunks of ``ceil(size / n_procs)`` elements.
+
+    The final processors may own fewer (or zero) elements when the size is
+    not divisible, matching the HPF definition.
+    """
+
+    kind = "block"
+
+    def __init__(self, size: int, n_procs: int):
+        super().__init__(size, n_procs)
+        self.chunk = -(-self.size // self.n_procs) if self.size else 0
+
+    def owner(self, gidx):
+        g = self._check_gidx(gidx)
+        return g // self.chunk if self.chunk else g
+
+    def local_index(self, gidx):
+        g = self._check_gidx(gidx)
+        return g % self.chunk if self.chunk else g
+
+    def global_index(self, p: int, lidx):
+        self._check_proc(p)
+        l = np.asarray(lidx, dtype=np.int64)
+        n = self.local_size(p)
+        if l.size and (l.min() < 0 or l.max() >= n):
+            raise IndexError(f"local index out of range [0, {n}) on processor {p}")
+        return p * self.chunk + l
+
+    def local_size(self, p: int) -> int:
+        self._check_proc(p)
+        if not self.chunk:
+            return 0
+        lo = p * self.chunk
+        hi = min(lo + self.chunk, self.size)
+        return max(hi - lo, 0)
+
+
+class CyclicDistribution(Distribution):
+    """HPF CYCLIC: element g lives on processor ``g mod P``."""
+
+    kind = "cyclic"
+
+    def owner(self, gidx):
+        g = self._check_gidx(gidx)
+        return g % self.n_procs
+
+    def local_index(self, gidx):
+        g = self._check_gidx(gidx)
+        return g // self.n_procs
+
+    def global_index(self, p: int, lidx):
+        self._check_proc(p)
+        l = np.asarray(lidx, dtype=np.int64)
+        n = self.local_size(p)
+        if l.size and (l.min() < 0 or l.max() >= n):
+            raise IndexError(f"local index out of range [0, {n}) on processor {p}")
+        return l * self.n_procs + p
+
+    def local_size(self, p: int) -> int:
+        self._check_proc(p)
+        full, extra = divmod(self.size, self.n_procs)
+        return full + (1 if p < extra else 0)
+
+
+class BlockCyclicDistribution(Distribution):
+    """HPF CYCLIC(b): blocks of ``b`` dealt round-robin to processors."""
+
+    kind = "block_cyclic"
+
+    def __init__(self, size: int, n_procs: int, block: int):
+        super().__init__(size, n_procs)
+        if block < 1:
+            raise ValueError(f"block size must be positive, got {block}")
+        self.block = int(block)
+
+    def owner(self, gidx):
+        g = self._check_gidx(gidx)
+        return (g // self.block) % self.n_procs
+
+    def local_index(self, gidx):
+        g = self._check_gidx(gidx)
+        blk = g // self.block
+        local_blk = blk // self.n_procs
+        return local_blk * self.block + g % self.block
+
+    def global_index(self, p: int, lidx):
+        self._check_proc(p)
+        l = np.asarray(lidx, dtype=np.int64)
+        n = self.local_size(p)
+        if l.size and (l.min() < 0 or l.max() >= n):
+            raise IndexError(f"local index out of range [0, {n}) on processor {p}")
+        local_blk, off = l // self.block, l % self.block
+        return (local_blk * self.n_procs + p) * self.block + off
+
+    def local_size(self, p: int) -> int:
+        self._check_proc(p)
+        n_blocks = -(-self.size // self.block) if self.size else 0
+        full, extra = divmod(n_blocks, self.n_procs)
+        mine = full + (1 if p < extra else 0)
+        if mine == 0:
+            return 0
+        # last block owned by p may be the globally last, possibly short
+        last_blk = (mine - 1) * self.n_procs + p
+        count = mine * self.block
+        if last_blk == n_blocks - 1:
+            count -= n_blocks * self.block - self.size
+        return count
+
+    def signature(self) -> tuple:
+        return (self.kind, self.size, self.n_procs, self.block)

@@ -1,0 +1,255 @@
+"""Semantic analysis: symbol tables and the paper's loop restrictions.
+
+Validates what the paper's compiler assumes (Section 1):
+
+* every array referenced is declared and aligned with a distributed
+  decomposition;
+* irregular accesses are single-level indirections ``y(ia(i))`` with the
+  indirection array indexed directly by the loop index;
+* the only loop-carried dependences are REDUCE statements;
+* CONSTRUCT/SET/REDISTRIBUTE name declared entities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.lang.ast_nodes import (
+    AlignStmt,
+    ArrayIndex,
+    AssignStmt,
+    BinOp,
+    Call,
+    ConstructStmt,
+    DecompositionDecl,
+    DistributeStmt,
+    DoStmt,
+    ForallStmt,
+    Num,
+    ProgramAST,
+    RedistributeStmt,
+    ReduceStmt,
+    SetStmt,
+    TypeDecl,
+    UnOp,
+    Var,
+)
+
+_DIST_FORMATS = {"BLOCK", "CYCLIC"}
+
+
+class AnalysisError(ValueError):
+    """A semantic violation, with source line info."""
+
+
+@dataclass
+class ArrayInfo:
+    name: str
+    type_name: str
+    size_expr: object
+    decomp: str | None = None
+
+
+@dataclass
+class ProgramInfo:
+    """Symbol tables produced by analysis."""
+
+    arrays: dict[str, ArrayInfo] = field(default_factory=dict)
+    decomps: dict[str, object] = field(default_factory=dict)  # name -> size expr
+    dynamic_decomps: set[str] = field(default_factory=set)
+    distributed: dict[str, str] = field(default_factory=dict)  # decomp -> fmt
+    geocols: set[str] = field(default_factory=set)
+    distfmts: set[str] = field(default_factory=set)
+    foralls: list[ForallStmt] = field(default_factory=list)
+
+
+def analyze(program: ProgramAST) -> ProgramInfo:
+    """Validate a parsed program and build its symbol tables."""
+    info = ProgramInfo()
+    _walk(program.statements, info)
+    return info
+
+
+def _walk(statements, info: ProgramInfo) -> None:
+    for stmt in statements:
+        if isinstance(stmt, TypeDecl):
+            for name, size in stmt.arrays:
+                if name in info.arrays:
+                    raise AnalysisError(
+                        f"line {stmt.line}: array {name!r} declared twice"
+                    )
+                info.arrays[name] = ArrayInfo(name, stmt.type_name, size)
+        elif isinstance(stmt, DecompositionDecl):
+            for name, size in stmt.decomps:
+                if name in info.decomps:
+                    raise AnalysisError(
+                        f"line {stmt.line}: decomposition {name!r} declared twice"
+                    )
+                info.decomps[name] = size
+                if stmt.dynamic:
+                    info.dynamic_decomps.add(name)
+        elif isinstance(stmt, DistributeStmt):
+            for name, fmt in stmt.targets:
+                if name not in info.decomps:
+                    raise AnalysisError(
+                        f"line {stmt.line}: DISTRIBUTE of undeclared "
+                        f"decomposition {name!r}"
+                    )
+                if fmt not in _DIST_FORMATS and fmt not in info.arrays:
+                    raise AnalysisError(
+                        f"line {stmt.line}: unsupported distribution format "
+                        f"{fmt!r} (use BLOCK, CYCLIC, or a declared INTEGER "
+                        "map array -- Figure 3's irregular distribution)"
+                    )
+                if fmt in info.arrays and not info.arrays[fmt].type_name.startswith(
+                    "INTEGER"
+                ):
+                    raise AnalysisError(
+                        f"line {stmt.line}: map array {fmt!r} must be INTEGER"
+                    )
+                info.distributed[name] = fmt
+        elif isinstance(stmt, AlignStmt):
+            if stmt.decomp not in info.decomps:
+                raise AnalysisError(
+                    f"line {stmt.line}: ALIGN with undeclared decomposition "
+                    f"{stmt.decomp!r}"
+                )
+            for name in stmt.arrays:
+                if name not in info.arrays:
+                    raise AnalysisError(
+                        f"line {stmt.line}: ALIGN of undeclared array {name!r}"
+                    )
+                info.arrays[name].decomp = stmt.decomp
+        elif isinstance(stmt, ConstructStmt):
+            for name in (stmt.geometry or []):
+                _require_aligned(info, name, stmt.line, "GEOMETRY")
+            if stmt.load:
+                _require_aligned(info, stmt.load, stmt.line, "LOAD")
+            if stmt.link:
+                for name in stmt.link:
+                    _require_aligned(info, name, stmt.line, "LINK")
+            if stmt.geometry is None and stmt.load is None and stmt.link is None:
+                raise AnalysisError(
+                    f"line {stmt.line}: CONSTRUCT {stmt.name!r} has no "
+                    "GEOMETRY/LOAD/LINK clause"
+                )
+            info.geocols.add(stmt.name)
+        elif isinstance(stmt, SetStmt):
+            if stmt.geocol not in info.geocols:
+                raise AnalysisError(
+                    f"line {stmt.line}: SET partitions unknown GeoCoL "
+                    f"{stmt.geocol!r}"
+                )
+            info.distfmts.add(stmt.target)
+        elif isinstance(stmt, RedistributeStmt):
+            if stmt.decomp not in info.decomps:
+                raise AnalysisError(
+                    f"line {stmt.line}: REDISTRIBUTE of undeclared "
+                    f"decomposition {stmt.decomp!r}"
+                )
+            if stmt.fmt not in info.distfmts:
+                raise AnalysisError(
+                    f"line {stmt.line}: REDISTRIBUTE with unknown "
+                    f"distribution format {stmt.fmt!r} (no SET produced it)"
+                )
+            if stmt.decomp not in info.dynamic_decomps:
+                raise AnalysisError(
+                    f"line {stmt.line}: decomposition {stmt.decomp!r} is not "
+                    "DYNAMIC; it cannot be redistributed"
+                )
+        elif isinstance(stmt, ForallStmt):
+            _check_forall(stmt, info)
+            info.foralls.append(stmt)
+        elif isinstance(stmt, DoStmt):
+            _walk(stmt.body, info)
+        else:  # pragma: no cover - parser produces only known nodes
+            raise AnalysisError(f"unknown statement {type(stmt).__name__}")
+
+
+def _require_aligned(info: ProgramInfo, name: str, line: int, clause: str) -> None:
+    if name not in info.arrays:
+        raise AnalysisError(
+            f"line {line}: {clause} references undeclared array {name!r}"
+        )
+    if info.arrays[name].decomp is None:
+        raise AnalysisError(
+            f"line {line}: {clause} array {name!r} is not ALIGNed"
+        )
+
+
+def _check_forall(stmt: ForallStmt, info: ProgramInfo) -> None:
+    for body_stmt in stmt.body:
+        if not isinstance(body_stmt, (AssignStmt, ReduceStmt)):
+            raise AnalysisError(
+                f"line {stmt.line}: only assignments and REDUCE statements "
+                "are allowed inside FORALL"
+            )
+        _check_array_ref(body_stmt.lhs, stmt.var, info, body_stmt.line)
+        _check_expr(body_stmt.expr, stmt.var, info, body_stmt.line)
+
+
+def _check_array_ref(ref: ArrayIndex, loop_var: str, info, line: int) -> None:
+    if ref.name not in info.arrays:
+        raise AnalysisError(
+            f"line {line}: reference to undeclared array {ref.name!r}"
+        )
+    if info.arrays[ref.name].decomp is None:
+        raise AnalysisError(f"line {line}: array {ref.name!r} is not ALIGNed")
+    idx = ref.index
+    if isinstance(idx, Var):
+        if idx.name != loop_var:
+            raise AnalysisError(
+                f"line {line}: subscript {idx.name!r} is not the loop index "
+                f"{loop_var!r}"
+            )
+        return
+    if isinstance(idx, ArrayIndex):
+        # single-level indirection: ia must itself be indexed by the loop var
+        if ref.name == idx.name:
+            raise AnalysisError(
+                f"line {line}: array {ref.name!r} cannot index itself"
+            )
+        if not isinstance(idx.index, Var) or idx.index.name != loop_var:
+            raise AnalysisError(
+                f"line {line}: indirection array {idx.name!r} must be indexed "
+                f"directly by the loop index (single-level indirection)"
+            )
+        if idx.name not in info.arrays:
+            raise AnalysisError(
+                f"line {line}: undeclared indirection array {idx.name!r}"
+            )
+        if not info.arrays[idx.name].type_name.startswith("INTEGER"):
+            raise AnalysisError(
+                f"line {line}: indirection array {idx.name!r} must be INTEGER"
+            )
+        return
+    raise AnalysisError(
+        f"line {line}: unsupported subscript expression on {ref.name!r}"
+    )
+
+
+def _check_expr(expr, loop_var: str, info, line: int) -> None:
+    if isinstance(expr, Num):
+        return
+    if isinstance(expr, Var):
+        if expr.name == loop_var:
+            raise AnalysisError(
+                f"line {line}: bare loop index {loop_var!r} in expressions is "
+                "not supported; reference arrays instead"
+            )
+        return  # a scalar bound at run time
+    if isinstance(expr, ArrayIndex):
+        _check_array_ref(expr, loop_var, info, line)
+        return
+    if isinstance(expr, BinOp):
+        _check_expr(expr.left, loop_var, info, line)
+        _check_expr(expr.right, loop_var, info, line)
+        return
+    if isinstance(expr, UnOp):
+        _check_expr(expr.operand, loop_var, info, line)
+        return
+    if isinstance(expr, Call):
+        for a in expr.args:
+            _check_expr(a, loop_var, info, line)
+        return
+    raise AnalysisError(f"line {line}: unsupported expression {expr!r}")

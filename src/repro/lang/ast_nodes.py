@@ -1,0 +1,181 @@
+"""AST node definitions for the directive dialect."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# expressions
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class Num:
+    value: float
+
+
+@dataclass(frozen=True)
+class Var:
+    """A bare identifier: the loop variable, a size symbol or a scalar."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayIndex:
+    """``name(index)`` where index is an expression (usually Var or
+    another single-level ArrayIndex)."""
+
+    name: str
+    index: "Expr"
+
+
+@dataclass(frozen=True)
+class BinOp:
+    op: str  # + - * / **
+    left: "Expr"
+    right: "Expr"
+
+
+@dataclass(frozen=True)
+class UnOp:
+    op: str  # -
+    operand: "Expr"
+
+
+@dataclass(frozen=True)
+class Call:
+    func: str
+    args: tuple["Expr", ...]
+
+
+Expr = Num | Var | ArrayIndex | BinOp | UnOp | Call
+
+
+# ---------------------------------------------------------------------------
+# statements
+# ---------------------------------------------------------------------------
+@dataclass
+class TypeDecl:
+    """``REAL*8 x(nnode), y(nnode)`` / ``INTEGER ia(nedge)``."""
+
+    type_name: str  # "REAL*8", "REAL", "INTEGER"
+    arrays: list[tuple[str, Expr]]  # (array name, size expression)
+    line: int = 0
+
+
+@dataclass
+class DecompositionDecl:
+    """``[DYNAMIC,] DECOMPOSITION reg(nnode), reg2(nedge)``."""
+
+    decomps: list[tuple[str, Expr]]
+    dynamic: bool = False
+    line: int = 0
+
+
+@dataclass
+class DistributeStmt:
+    """``DISTRIBUTE reg(BLOCK), reg2(CYCLIC)``."""
+
+    targets: list[tuple[str, str]]  # (decomposition, format keyword)
+    line: int = 0
+
+
+@dataclass
+class AlignStmt:
+    """``ALIGN x, y WITH reg``."""
+
+    arrays: list[str]
+    decomp: str
+    line: int = 0
+
+
+@dataclass
+class ConstructStmt:
+    """``CONSTRUCT G (nnode, GEOMETRY(3, xc, yc, zc), LOAD(w),
+    LINK(nedge, e1, e2))``."""
+
+    name: str
+    n_vertices: Expr
+    geometry: list[str] | None = None
+    load: str | None = None
+    link: tuple[str, str] | None = None
+    link_count: Expr | None = None
+    line: int = 0
+
+
+@dataclass
+class SetStmt:
+    """``SET distfmt BY PARTITIONING G USING RSB``."""
+
+    target: str
+    geocol: str
+    partitioner: str
+    line: int = 0
+
+
+@dataclass
+class RedistributeStmt:
+    """``REDISTRIBUTE reg(distfmt)``."""
+
+    decomp: str
+    fmt: str
+    line: int = 0
+
+
+@dataclass
+class AssignStmt:
+    """``y(ia(i)) = <expr>`` inside a FORALL."""
+
+    lhs: ArrayIndex
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class ReduceStmt:
+    """``REDUCE (ADD, y(ia(i)), <expr>)`` inside a FORALL."""
+
+    op: str  # ADD | MULTIPLY | MIN | MAX
+    lhs: ArrayIndex
+    expr: Expr
+    line: int = 0
+
+
+@dataclass
+class ForallStmt:
+    """``FORALL i = 1, nedge ... END FORALL``."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: list[AssignStmt | ReduceStmt] = field(default_factory=list)
+    line: int = 0
+
+
+@dataclass
+class DoStmt:
+    """``DO t = 1, 100 ... END DO`` (timing loop around FORALLs)."""
+
+    var: str
+    lo: Expr
+    hi: Expr
+    body: list = field(default_factory=list)
+    line: int = 0
+
+
+Statement = (
+    TypeDecl
+    | DecompositionDecl
+    | DistributeStmt
+    | AlignStmt
+    | ConstructStmt
+    | SetStmt
+    | RedistributeStmt
+    | ForallStmt
+    | DoStmt
+)
+
+
+@dataclass
+class ProgramAST:
+    statements: list = field(default_factory=list)

@@ -1,0 +1,118 @@
+"""Unparser: AST -> directive-dialect source.
+
+Used by diagnostics and by the parser round-trip property tests
+(``parse(pretty(ast))`` must reproduce ``ast``).  Output is valid input
+for :func:`repro.lang.parser.parse`; operator precedence is preserved by
+parenthesizing every non-atomic operand.
+"""
+
+from __future__ import annotations
+
+from repro.lang.ast_nodes import (
+    AlignStmt,
+    ArrayIndex,
+    AssignStmt,
+    BinOp,
+    Call,
+    ConstructStmt,
+    DecompositionDecl,
+    DistributeStmt,
+    DoStmt,
+    ForallStmt,
+    Num,
+    ProgramAST,
+    RedistributeStmt,
+    ReduceStmt,
+    SetStmt,
+    TypeDecl,
+    UnOp,
+    Var,
+)
+
+
+def pretty_expr(expr) -> str:
+    """Render an expression; sub-expressions are parenthesized."""
+    if isinstance(expr, Num):
+        v = expr.value
+        return str(int(v)) if float(v).is_integer() else repr(v)
+    if isinstance(expr, Var):
+        return expr.name
+    if isinstance(expr, ArrayIndex):
+        return f"{expr.name}({pretty_expr(expr.index)})"
+    if isinstance(expr, BinOp):
+        return f"({pretty_expr(expr.left)} {expr.op} {pretty_expr(expr.right)})"
+    if isinstance(expr, UnOp):
+        return f"(-{pretty_expr(expr.operand)})"
+    if isinstance(expr, Call):
+        args = ", ".join(pretty_expr(a) for a in expr.args)
+        return f"{expr.func}({args})"
+    raise TypeError(f"cannot pretty-print {type(expr).__name__}")
+
+
+def _name_sizes(pairs) -> str:
+    return ", ".join(f"{n}({pretty_expr(s)})" for n, s in pairs)
+
+
+def pretty_stmt(stmt, indent: int = 0) -> list[str]:
+    pad = "  " * indent
+    if isinstance(stmt, TypeDecl):
+        return [f"{pad}{stmt.type_name} {_name_sizes(stmt.arrays)}"]
+    if isinstance(stmt, DecompositionDecl):
+        prefix = "DYNAMIC, " if stmt.dynamic else ""
+        return [f"{pad}{prefix}DECOMPOSITION {_name_sizes(stmt.decomps)}"]
+    if isinstance(stmt, DistributeStmt):
+        body = ", ".join(f"{n}({f})" for n, f in stmt.targets)
+        return [f"{pad}DISTRIBUTE {body}"]
+    if isinstance(stmt, AlignStmt):
+        return [f"{pad}ALIGN {', '.join(stmt.arrays)} WITH {stmt.decomp}"]
+    if isinstance(stmt, ConstructStmt):
+        clauses = [pretty_expr(stmt.n_vertices)]
+        if stmt.geometry is not None:
+            clauses.append(
+                f"GEOMETRY({len(stmt.geometry)}, {', '.join(stmt.geometry)})"
+            )
+        if stmt.load is not None:
+            clauses.append(f"LOAD({stmt.load})")
+        if stmt.link is not None:
+            count = pretty_expr(stmt.link_count) if stmt.link_count else "0"
+            clauses.append(f"LINK({count}, {stmt.link[0]}, {stmt.link[1]})")
+        return [f"{pad}C$ CONSTRUCT {stmt.name} ({', '.join(clauses)})"]
+    if isinstance(stmt, SetStmt):
+        return [
+            f"{pad}C$ SET {stmt.target} BY PARTITIONING {stmt.geocol} "
+            f"USING {stmt.partitioner}"
+        ]
+    if isinstance(stmt, RedistributeStmt):
+        return [f"{pad}C$ REDISTRIBUTE {stmt.decomp}({stmt.fmt})"]
+    if isinstance(stmt, AssignStmt):
+        return [f"{pad}{pretty_expr(stmt.lhs)} = {pretty_expr(stmt.expr)}"]
+    if isinstance(stmt, ReduceStmt):
+        return [
+            f"{pad}REDUCE ({stmt.op}, {pretty_expr(stmt.lhs)}, "
+            f"{pretty_expr(stmt.expr)})"
+        ]
+    if isinstance(stmt, ForallStmt):
+        lines = [
+            f"{pad}FORALL {stmt.var} = {pretty_expr(stmt.lo)}, {pretty_expr(stmt.hi)}"
+        ]
+        for s in stmt.body:
+            lines.extend(pretty_stmt(s, indent + 1))
+        lines.append(f"{pad}END FORALL")
+        return lines
+    if isinstance(stmt, DoStmt):
+        lines = [
+            f"{pad}DO {stmt.var} = {pretty_expr(stmt.lo)}, {pretty_expr(stmt.hi)}"
+        ]
+        for s in stmt.body:
+            lines.extend(pretty_stmt(s, indent + 1))
+        lines.append(f"{pad}END DO")
+        return lines
+    raise TypeError(f"cannot pretty-print {type(stmt).__name__}")
+
+
+def pretty_program(program: ProgramAST) -> str:
+    """Render a whole program as parseable source."""
+    lines: list[str] = []
+    for stmt in program.statements:
+        lines.extend(pretty_stmt(stmt))
+    return "\n".join(lines) + "\n"

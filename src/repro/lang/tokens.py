@@ -1,0 +1,87 @@
+"""Tokenizer for the directive dialect.
+
+Line-oriented, case-insensitive keywords.  Lines beginning with ``!`` or
+``C `` (classic fixed-form comment) are skipped; the compiler-directive
+prefixes ``C$`` and ``!$`` are stripped, so directives read exactly as in
+the paper's figures.  A NEWLINE token separates statements.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from enum import Enum, auto
+
+
+class TokenKind(Enum):
+    IDENT = auto()
+    NUMBER = auto()
+    STRING = auto()
+    OP = auto()       # + - * / ** ( ) , = <anything punctuational>
+    NEWLINE = auto()
+    EOF = auto()
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: TokenKind
+    text: str
+    line: int
+    col: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Token({self.kind.name}, {self.text!r}, {self.line}:{self.col})"
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<number>(\d+\.\d*|\.\d+|\d+)([deDE][+-]?\d+)?)
+  | (?P<ident>[A-Za-z_][A-Za-z0-9_$]*(\*\d+)?)     # REAL*8 folds into ident
+  | (?P<string>'[^']*')
+  | (?P<op>\*\*|[-+*/(),=])
+  | (?P<ws>[ \t]+)
+    """,
+    re.VERBOSE,
+)
+
+_COMMENT_LINE = re.compile(r"^\s*(!(?!\$).*)?$|^[Cc*]\s")
+_DIRECTIVE_PREFIX = re.compile(r"^\s*([Cc!]\$)\s*")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize a program; raises ValueError on unrecognized characters."""
+    tokens: list[Token] = []
+    for lineno, raw in enumerate(source.splitlines(), start=1):
+        line = raw.rstrip()
+        if not line.strip():
+            continue
+        if _COMMENT_LINE.match(line) and not _DIRECTIVE_PREFIX.match(line):
+            continue
+        line = _DIRECTIVE_PREFIX.sub("", line)
+        pos = 0
+        emitted = False
+        while pos < len(line):
+            m = _TOKEN_RE.match(line, pos)
+            if m is None:
+                raise ValueError(
+                    f"line {lineno}: unrecognized character {line[pos]!r} at "
+                    f"column {pos + 1}"
+                )
+            pos = m.end()
+            if m.lastgroup == "ws":
+                continue
+            kind = {
+                "number": TokenKind.NUMBER,
+                "ident": TokenKind.IDENT,
+                "string": TokenKind.STRING,
+                "op": TokenKind.OP,
+            }[m.lastgroup]
+            text = m.group()
+            if kind == TokenKind.IDENT:
+                text = text.upper()
+            tokens.append(Token(kind, text, lineno, m.start() + 1))
+            emitted = True
+        if emitted:
+            tokens.append(Token(TokenKind.NEWLINE, "\n", lineno, len(line) + 1))
+    tokens.append(Token(TokenKind.EOF, "", len(source.splitlines()) + 1, 1))
+    return tokens

@@ -1,0 +1,227 @@
+"""The simulated machine: virtual processors, clocks, and phases.
+
+``Machine`` is the hub every other layer charges work to.  The execution
+model is *loosely synchronous*, exactly what CHAOS assumes: computation
+proceeds in clearly demarcated phases; within a phase each processor
+accumulates compute and communication time on its own clock; at a phase
+boundary (``barrier``/``phase`` exit) all clocks jump to the maximum.
+
+The data itself lives in ``DistArray`` local segments (see
+``repro.distribution.distarray``); the machine only tracks *time* and
+*counters*, which keeps the simulation deterministic and fast.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Mapping, Sequence
+
+from repro.machine.costmodel import CostModel, IPSC860
+from repro.machine.stats import MachineStats, PhaseRecord, ProcessorStats
+from repro.machine.topology import Topology, make_topology
+
+
+class Processor:
+    """One virtual processor: a rank and its counters."""
+
+    __slots__ = ("rank", "stats")
+
+    def __init__(self, rank: int):
+        self.rank = rank
+        self.stats = ProcessorStats()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Processor(rank={self.rank}, clock={self.stats.clock:.6f})"
+
+
+class Machine:
+    """A P-processor distributed-memory machine with modeled time.
+
+    Parameters
+    ----------
+    n_procs:
+        Number of virtual processors.  With the default hypercube
+        topology this must be a power of two (as on the iPSC/860).
+    cost_model:
+        A :class:`~repro.machine.costmodel.CostModel`; defaults to the
+        iPSC/860 calibration.
+    topology:
+        Either a :class:`~repro.machine.topology.Topology` instance or a
+        name accepted by :func:`~repro.machine.topology.make_topology`.
+    """
+
+    def __init__(
+        self,
+        n_procs: int,
+        cost_model: CostModel = IPSC860,
+        topology: Topology | str = "hypercube",
+    ):
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.n_procs = int(n_procs)
+        self.cost = cost_model
+        if isinstance(topology, str):
+            topology = make_topology(topology, self.n_procs)
+        if topology.n_procs != self.n_procs:
+            raise ValueError(
+                f"topology is for {topology.n_procs} processors, machine has {self.n_procs}"
+            )
+        self.topology = topology
+        self.procs = [Processor(p) for p in range(self.n_procs)]
+        self.stats = MachineStats()
+        self._phase_depth = 0
+
+    # ------------------------------------------------------------------
+    # clock primitives
+    # ------------------------------------------------------------------
+    def _check_rank(self, p: int) -> None:
+        if not 0 <= p < self.n_procs:
+            raise ValueError(f"processor id {p} out of range [0, {self.n_procs})")
+
+    def clock(self, p: int) -> float:
+        """Current simulated time on processor ``p``."""
+        self._check_rank(p)
+        return self.procs[p].stats.clock
+
+    def elapsed(self) -> float:
+        """Machine time so far: the maximum processor clock."""
+        return max(proc.stats.clock for proc in self.procs)
+
+    def charge_compute(
+        self, p: int, flops: float = 0.0, iops: float = 0.0, mem: float = 0.0
+    ) -> float:
+        """Charge local work to processor ``p``; returns the time charged."""
+        self._check_rank(p)
+        dt = self.cost.compute_time(flops=flops, iops=iops, mem=mem)
+        st = self.procs[p].stats
+        st.clock += dt
+        st.flops += flops
+        st.iops += iops
+        st.mem_ops += mem
+        return dt
+
+    def charge_compute_all(
+        self,
+        flops: Sequence[float] | float = 0.0,
+        iops: Sequence[float] | float = 0.0,
+        mem: Sequence[float] | float = 0.0,
+    ) -> None:
+        """Charge per-processor work vectors (scalars broadcast)."""
+
+        def at(v, p):
+            return v if isinstance(v, (int, float)) else v[p]
+
+        for p in range(self.n_procs):
+            self.charge_compute(p, flops=at(flops, p), iops=at(iops, p), mem=at(mem, p))
+
+    # ------------------------------------------------------------------
+    # communication primitives
+    # ------------------------------------------------------------------
+    def send(self, src: int, dst: int, nbytes: int) -> float:
+        """Model one point-to-point message; returns the message time.
+
+        Both endpoints are charged the full message time (blocking
+        send/recv, the NX-library style the paper's runtime used).
+        A message to self is a local memory copy.
+        """
+        self._check_rank(src)
+        self._check_rank(dst)
+        if nbytes < 0:
+            raise ValueError(f"negative message size {nbytes}")
+        if src == dst:
+            words = nbytes / 8.0
+            return self.charge_compute(src, mem=words)
+        hops = self.topology.hops(src, dst)
+        dt = self.cost.message_time(nbytes, hops)
+        s, d = self.procs[src].stats, self.procs[dst].stats
+        s.clock += dt
+        s.messages_sent += 1
+        s.bytes_sent += nbytes
+        d.clock += dt
+        d.messages_received += 1
+        d.bytes_received += nbytes
+        return dt
+
+    def exchange(self, bytes_matrix: Mapping[tuple[int, int], int]) -> None:
+        """Model an all-to-all-ish exchange phase.
+
+        ``bytes_matrix`` maps ``(src, dst)`` to message sizes in bytes.
+        Each processor's clock advances by the sum of the costs of the
+        messages it sends plus those it receives (sequential injection,
+        which is how the single-port iPSC/860 behaved); zero-byte entries
+        are skipped entirely -- CHAOS schedules never post empty messages.
+        """
+        send_time = [0.0] * self.n_procs
+        recv_time = [0.0] * self.n_procs
+        for (src, dst), nbytes in bytes_matrix.items():
+            self._check_rank(src)
+            self._check_rank(dst)
+            if nbytes < 0:
+                raise ValueError(f"negative message size {nbytes}")
+            if nbytes == 0:
+                continue
+            if src == dst:
+                self.charge_compute(src, mem=nbytes / 8.0)
+                continue
+            dt = self.cost.message_time(nbytes, self.topology.hops(src, dst))
+            send_time[src] += dt
+            recv_time[dst] += dt
+            s, d = self.procs[src].stats, self.procs[dst].stats
+            s.messages_sent += 1
+            s.bytes_sent += nbytes
+            d.messages_received += 1
+            d.bytes_received += nbytes
+        for p in range(self.n_procs):
+            self.procs[p].stats.clock += send_time[p] + recv_time[p]
+
+    def barrier(self) -> float:
+        """Synchronize all clocks to the maximum plus a small sync cost."""
+        t = self.elapsed()
+        if self.n_procs > 1:
+            # tree barrier: up + down sweep of tiny messages
+            depth = max(1, (self.n_procs - 1).bit_length())
+            t += 2 * depth * self.cost.alpha
+        for proc in self.procs:
+            proc.stats.clock = t
+        return t
+
+    # ------------------------------------------------------------------
+    # phases
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str) -> Iterator[None]:
+        """Named loosely synchronous region; records a PhaseRecord.
+
+        The region begins and ends with a barrier; ``elapsed`` is the
+        wall time between them on the synchronized machine clock.
+        """
+        self.barrier()
+        start = self.elapsed()
+        before = [proc.stats.snapshot() for proc in self.procs]
+        self._phase_depth += 1
+        try:
+            yield
+        finally:
+            self._phase_depth -= 1
+            self.barrier()
+            end = self.elapsed()
+            per_proc = [
+                proc.stats.delta(before[p]) for p, proc in enumerate(self.procs)
+            ]
+            self.stats.add(PhaseRecord(name=name, elapsed=end - start, per_proc=per_proc))
+
+    def phase_time(self, name: str) -> float:
+        """Sum of elapsed time over phases with this name."""
+        return self.stats.phase_time(name)
+
+    def reset(self) -> None:
+        """Zero all clocks, counters, and phase records."""
+        for proc in self.procs:
+            proc.stats = ProcessorStats()
+        self.stats.clear()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Machine(n_procs={self.n_procs}, cost={self.cost.name!r}, "
+            f"topology={type(self.topology).__name__}, t={self.elapsed():.6f}s)"
+        )

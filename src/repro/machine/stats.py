@@ -1,0 +1,106 @@
+"""Per-processor and machine-wide counters.
+
+Every runtime operation charges a processor's clock and counters.  The
+benchmark harness reads phase records (named, nestable timing regions) to
+produce the paper's table rows; the raw counters (messages, bytes, flops)
+back the ablation benches and give tests something exact to assert on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ProcessorStats:
+    """Counters for one virtual processor."""
+
+    clock: float = 0.0
+    messages_sent: int = 0
+    messages_received: int = 0
+    bytes_sent: int = 0
+    bytes_received: int = 0
+    flops: float = 0.0
+    iops: float = 0.0
+    mem_ops: float = 0.0
+
+    def snapshot(self) -> "ProcessorStats":
+        return ProcessorStats(
+            clock=self.clock,
+            messages_sent=self.messages_sent,
+            messages_received=self.messages_received,
+            bytes_sent=self.bytes_sent,
+            bytes_received=self.bytes_received,
+            flops=self.flops,
+            iops=self.iops,
+            mem_ops=self.mem_ops,
+        )
+
+    def delta(self, earlier: "ProcessorStats") -> "ProcessorStats":
+        """Counter difference ``self - earlier`` (for phase accounting)."""
+        return ProcessorStats(
+            clock=self.clock - earlier.clock,
+            messages_sent=self.messages_sent - earlier.messages_sent,
+            messages_received=self.messages_received - earlier.messages_received,
+            bytes_sent=self.bytes_sent - earlier.bytes_sent,
+            bytes_received=self.bytes_received - earlier.bytes_received,
+            flops=self.flops - earlier.flops,
+            iops=self.iops - earlier.iops,
+            mem_ops=self.mem_ops - earlier.mem_ops,
+        )
+
+
+@dataclass
+class PhaseRecord:
+    """One named timing region, as the harness reports it.
+
+    ``elapsed`` is wall time on the simulated machine: the maximum clock
+    advance over all processors between phase start and end (the loosely
+    synchronous convention -- everyone waits for the slowest).
+    """
+
+    name: str
+    elapsed: float
+    per_proc: list[ProcessorStats]
+
+    @property
+    def total_messages(self) -> int:
+        return sum(s.messages_sent for s in self.per_proc)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(s.bytes_sent for s in self.per_proc)
+
+    @property
+    def total_flops(self) -> float:
+        return sum(s.flops for s in self.per_proc)
+
+    @property
+    def max_clock(self) -> float:
+        return max((s.clock for s in self.per_proc), default=0.0)
+
+
+@dataclass
+class MachineStats:
+    """Machine-wide aggregation over all processors and phases."""
+
+    phases: list[PhaseRecord] = field(default_factory=list)
+
+    def add(self, record: PhaseRecord) -> None:
+        self.phases.append(record)
+
+    def phase_time(self, name: str) -> float:
+        """Total elapsed simulated time across all phases named ``name``."""
+        return sum(p.elapsed for p in self.phases if p.name == name)
+
+    def phase_names(self) -> list[str]:
+        seen: dict[str, None] = {}
+        for p in self.phases:
+            seen.setdefault(p.name, None)
+        return list(seen)
+
+    def total_time(self) -> float:
+        return sum(p.elapsed for p in self.phases)
+
+    def clear(self) -> None:
+        self.phases.clear()

@@ -1,0 +1,138 @@
+"""Interconnect topologies for the simulated machine.
+
+A topology answers one question for the cost model: how many hops does a
+message from processor ``src`` to processor ``dst`` traverse?  The iPSC/860
+is a binary hypercube, so that is the default everywhere in the
+reproduction; ring and 2-D mesh variants exist for ablations, and a
+fully-connected topology gives the idealized 1-hop-everywhere model.
+"""
+
+from __future__ import annotations
+
+import math
+from abc import ABC, abstractmethod
+
+
+class Topology(ABC):
+    """Abstract interconnect: hop counts between pairs of processors."""
+
+    def __init__(self, n_procs: int):
+        if n_procs < 1:
+            raise ValueError(f"need at least one processor, got {n_procs}")
+        self.n_procs = int(n_procs)
+
+    @abstractmethod
+    def hops(self, src: int, dst: int) -> int:
+        """Number of network hops between processors ``src`` and ``dst``."""
+
+    @abstractmethod
+    def diameter(self) -> int:
+        """Maximum hop count over all processor pairs."""
+
+    def _check(self, *procs: int) -> None:
+        for p in procs:
+            if not 0 <= p < self.n_procs:
+                raise ValueError(
+                    f"processor id {p} out of range [0, {self.n_procs})"
+                )
+
+    def neighbors(self, p: int) -> list[int]:
+        """Processors exactly one hop from ``p`` (generic, O(P))."""
+        self._check(p)
+        return [q for q in range(self.n_procs) if q != p and self.hops(p, q) == 1]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{type(self).__name__}(n_procs={self.n_procs})"
+
+
+class HypercubeTopology(Topology):
+    """Binary hypercube: the iPSC/860 interconnect.
+
+    Processor ids are node labels; the hop count between two nodes is the
+    Hamming distance of their ids.  The processor count must be a power of
+    two, as on the real machine.
+    """
+
+    def __init__(self, n_procs: int):
+        super().__init__(n_procs)
+        if n_procs & (n_procs - 1):
+            raise ValueError(
+                f"hypercube needs a power-of-two processor count, got {n_procs}"
+            )
+        self.dim = n_procs.bit_length() - 1
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return (src ^ dst).bit_count()
+
+    def diameter(self) -> int:
+        return self.dim
+
+    def neighbors(self, p: int) -> list[int]:
+        self._check(p)
+        return [p ^ (1 << d) for d in range(self.dim)]
+
+
+class RingTopology(Topology):
+    """Bidirectional ring; hop count is the shorter way around."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        d = abs(src - dst)
+        return min(d, self.n_procs - d)
+
+    def diameter(self) -> int:
+        return self.n_procs // 2
+
+
+class FullyConnectedTopology(Topology):
+    """Every pair one hop apart: the idealized 'flat' network."""
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        return 0 if src == dst else 1
+
+    def diameter(self) -> int:
+        return 0 if self.n_procs == 1 else 1
+
+
+class MeshTopology(Topology):
+    """2-D mesh with near-square factorization; Manhattan hop distance."""
+
+    def __init__(self, n_procs: int):
+        super().__init__(n_procs)
+        r = int(math.isqrt(n_procs))
+        while n_procs % r:
+            r -= 1
+        self.rows = r
+        self.cols = n_procs // r
+
+    def _coords(self, p: int) -> tuple[int, int]:
+        return divmod(p, self.cols)
+
+    def hops(self, src: int, dst: int) -> int:
+        self._check(src, dst)
+        (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
+        return abs(r1 - r2) + abs(c1 - c2)
+
+    def diameter(self) -> int:
+        return (self.rows - 1) + (self.cols - 1)
+
+
+_TOPOLOGIES = {
+    "hypercube": HypercubeTopology,
+    "ring": RingTopology,
+    "full": FullyConnectedTopology,
+    "mesh": MeshTopology,
+}
+
+
+def make_topology(name: str, n_procs: int) -> Topology:
+    """Construct a topology by name: hypercube | ring | full | mesh."""
+    try:
+        cls = _TOPOLOGIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown topology {name!r}; choose from {sorted(_TOPOLOGIES)}"
+        ) from None
+    return cls(n_procs)

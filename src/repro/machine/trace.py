@@ -1,0 +1,100 @@
+"""Optional message tracing for the simulated machine.
+
+``MessageTrace`` hooks a machine's ``send``/``exchange`` and records
+every point-to-point message; tests use it to assert on communication
+*patterns* (who talks to whom, symmetry of request/reply protocols) and
+the benches can render a processor-pair traffic matrix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.machine.machine import Machine
+
+
+@dataclass(frozen=True)
+class MessageEvent:
+    src: int
+    dst: int
+    nbytes: int
+
+
+class MessageTrace:
+    """Records every message on a machine while attached.
+
+    Usage::
+
+        with MessageTrace(machine) as trace:
+            ... run runtime operations ...
+        matrix = trace.traffic_matrix()
+    """
+
+    def __init__(self, machine: Machine):
+        self.machine = machine
+        self.events: list[MessageEvent] = []
+        self._orig_send = None
+        self._orig_exchange = None
+
+    # -- context management -------------------------------------------------
+    def __enter__(self) -> "MessageTrace":
+        if self._orig_send is not None:
+            raise RuntimeError("trace already attached")
+        self._orig_send = self.machine.send
+        self._orig_exchange = self.machine.exchange
+
+        def send(src, dst, nbytes):
+            result = self._orig_send(src, dst, nbytes)
+            if src != dst and nbytes > 0:
+                self.events.append(MessageEvent(src, dst, nbytes))
+            return result
+
+        def exchange(bytes_matrix):
+            for (src, dst), nbytes in bytes_matrix.items():
+                if src != dst and nbytes > 0:
+                    self.events.append(MessageEvent(src, dst, nbytes))
+            return self._orig_exchange(bytes_matrix)
+
+        self.machine.send = send
+        self.machine.exchange = exchange
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.machine.send = self._orig_send
+        self.machine.exchange = self._orig_exchange
+        self._orig_send = None
+        self._orig_exchange = None
+
+    # -- queries ------------------------------------------------------------
+    def message_count(self) -> int:
+        return len(self.events)
+
+    def total_bytes(self) -> int:
+        return sum(e.nbytes for e in self.events)
+
+    def traffic_matrix(self) -> np.ndarray:
+        """(P, P) byte totals, [src, dst]."""
+        n = self.machine.n_procs
+        out = np.zeros((n, n), dtype=np.int64)
+        for e in self.events:
+            out[e.src, e.dst] += e.nbytes
+        return out
+
+    def pairs(self) -> set[tuple[int, int]]:
+        """Distinct communicating (src, dst) pairs."""
+        return {(e.src, e.dst) for e in self.events}
+
+    def render(self, unit: int = 1024) -> str:
+        """Text heat map of the traffic matrix (units of ``unit`` bytes)."""
+        mat = self.traffic_matrix() // unit
+        n = self.machine.n_procs
+        width = max(len(str(mat.max())), 3)
+        lines = ["traffic matrix (KiB)" if unit == 1024 else f"traffic /{unit}B"]
+        header = "     " + " ".join(f"{q:>{width}}" for q in range(n))
+        lines.append(header)
+        for p in range(n):
+            row = " ".join(f"{mat[p, q]:>{width}}" for q in range(n))
+            lines.append(f"{p:>4} {row}")
+        return "\n".join(lines)

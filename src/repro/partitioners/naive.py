@@ -1,0 +1,69 @@
+"""Naive partitioners: BLOCK, CYCLIC, RANDOM.
+
+BLOCK is the paper's baseline ("we assigned each processor contiguous
+blocks of array elements", Table 4): free to compute, oblivious to
+structure, and therefore the partition the irregular ones must beat.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import (
+    PartitionProblem,
+    PartitionResult,
+    Partitioner,
+    register_partitioner,
+)
+
+
+@register_partitioner("BLOCK")
+class BlockPartitioner(Partitioner):
+    """Contiguous chunks of ceil(N/P), exactly HPF BLOCK."""
+
+    def partition(self, problem: PartitionProblem, n_parts: int) -> PartitionResult:
+        self.validate(problem, n_parts)
+        n = problem.n_vertices
+        chunk = -(-n // n_parts) if n else 1
+        owners = np.arange(n, dtype=np.int64) // chunk
+        return PartitionResult(
+            owner_map=owners,
+            n_parts=n_parts,
+            iops=float(n),  # one pass to write the map
+            sync_rounds=0,
+        )
+
+
+@register_partitioner("CYCLIC")
+class CyclicPartitioner(Partitioner):
+    """Round-robin assignment (HPF CYCLIC)."""
+
+    def partition(self, problem: PartitionProblem, n_parts: int) -> PartitionResult:
+        self.validate(problem, n_parts)
+        n = problem.n_vertices
+        owners = np.arange(n, dtype=np.int64) % n_parts
+        return PartitionResult(
+            owner_map=owners,
+            n_parts=n_parts,
+            iops=float(n),
+            sync_rounds=0,
+        )
+
+
+@register_partitioner("RANDOM")
+class RandomPartitioner(Partitioner):
+    """Uniform random owners; a worst-case-locality control."""
+
+    def __init__(self, seed: int = 0):
+        self.seed = seed
+
+    def partition(self, problem: PartitionProblem, n_parts: int) -> PartitionResult:
+        self.validate(problem, n_parts)
+        rng = np.random.default_rng(self.seed)
+        owners = rng.integers(0, n_parts, size=problem.n_vertices, dtype=np.int64)
+        return PartitionResult(
+            owner_map=owners,
+            n_parts=n_parts,
+            iops=float(problem.n_vertices) * 3.0,  # PRNG + write
+            sync_rounds=0,
+        )

@@ -1,0 +1,90 @@
+"""Recursive coordinate bisection (Berger & Bokhari 1987).
+
+The paper's "recursive binary dissection" / "binary coordinate
+bisection": recursively cut the vertex set by a plane orthogonal to the
+coordinate axis of greatest extent, placing the cut at the weighted
+median.  Handles any number of parts (not just powers of two) by
+splitting weight in proportion to the part counts assigned to each side.
+
+The modeled parallel cost reflects the classic distributed
+implementation: each median is found by iterative probing (every probe
+scans local coordinates and takes a global sum), and each level ends by
+exchanging vertex records across the cut.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import (
+    PartitionProblem,
+    PartitionResult,
+    Partitioner,
+    register_partitioner,
+)
+from repro.partitioners.weighted import weighted_median_split
+
+#: modeled median-probe rounds per bisection (parallel bisection search)
+MEDIAN_PROBES = 16
+#: modeled integer ops per vertex per probe (compare + partial count)
+PROBE_IOPS = 4.0
+#: modeled bytes per vertex record exchanged when a level re-buckets
+RECORD_BYTES = 32.0
+
+
+@register_partitioner("RCB")
+class RCBPartitioner(Partitioner):
+    """Geometry-based partitioner; needs GEOMETRY, honours LOAD."""
+
+    needs_coords = True
+
+    def partition(self, problem: PartitionProblem, n_parts: int) -> PartitionResult:
+        self.validate(problem, n_parts)
+        n = problem.n_vertices
+        owners = np.zeros(n, dtype=np.int64)
+        coords = problem.coords
+        weights = problem.effective_weights()
+
+        flops = 0.0
+        iops = 0.0
+        rounds = 0
+        comm_bytes = 0.0
+        levels = 0
+
+        # worklist of (vertex index array, first part id, part count)
+        work = [(np.arange(n, dtype=np.int64), 0, n_parts)]
+        while work:
+            next_work = []
+            level_vertices = 0
+            for idx, part0, parts in work:
+                if parts == 1 or idx.size == 0:
+                    owners[idx] = part0
+                    continue
+                left_parts = (parts + 1) // 2
+                frac = left_parts / parts
+                sub = coords[:, idx]
+                extent = sub.max(axis=1) - sub.min(axis=1) if idx.size else None
+                axis = int(np.argmax(extent)) if idx.size else 0
+                mask = weighted_median_split(sub[axis], weights[idx], frac)
+                next_work.append((idx[mask], part0, left_parts))
+                next_work.append((idx[~mask], part0 + left_parts, parts - left_parts))
+                level_vertices += idx.size
+            if level_vertices:
+                levels += 1
+                # extent scan + median probes over every active vertex
+                flops += 2.0 * level_vertices
+                iops += MEDIAN_PROBES * PROBE_IOPS * level_vertices
+                rounds += MEDIAN_PROBES
+                # re-bucketing: half the records cross the cut on average
+                comm_bytes += 0.5 * RECORD_BYTES * level_vertices
+            work = next_work
+
+        return PartitionResult(
+            owner_map=owners,
+            n_parts=n_parts,
+            flops=flops,
+            iops=iops,
+            sync_rounds=rounds,
+            comm_bytes=comm_bytes,
+            info={"levels": levels},
+        )

@@ -1,0 +1,88 @@
+"""Recursive inertial bisection.
+
+Like RCB, but instead of cutting along a coordinate axis, each bisection
+cuts orthogonally to the principal axis of the vertex cloud (the
+dominant eigenvector of its weighted covariance), which handles meshes
+whose natural elongation is not axis-aligned [Nour-Omid et al. 1987].
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.partitioners.base import (
+    PartitionProblem,
+    PartitionResult,
+    Partitioner,
+    register_partitioner,
+)
+from repro.partitioners.rcb import MEDIAN_PROBES, PROBE_IOPS, RECORD_BYTES
+from repro.partitioners.weighted import weighted_median_split
+
+
+def principal_axis(coords: np.ndarray, weights: np.ndarray) -> np.ndarray:
+    """Dominant eigenvector of the weighted covariance of a point cloud."""
+    total = weights.sum()
+    if total <= 0 or coords.shape[1] < 2:
+        e = np.zeros(coords.shape[0])
+        e[0] = 1.0
+        return e
+    mean = (coords * weights).sum(axis=1) / total
+    centered = coords - mean[:, None]
+    cov = (centered * weights) @ centered.T / total
+    vals, vecs = np.linalg.eigh(cov)
+    return vecs[:, -1]
+
+
+@register_partitioner("RIB")
+class RIBPartitioner(Partitioner):
+    """Inertial (principal-axis) bisection; needs GEOMETRY, honours LOAD."""
+
+    needs_coords = True
+
+    def partition(self, problem: PartitionProblem, n_parts: int) -> PartitionResult:
+        self.validate(problem, n_parts)
+        n = problem.n_vertices
+        owners = np.zeros(n, dtype=np.int64)
+        coords = problem.coords
+        weights = problem.effective_weights()
+        ndim = coords.shape[0]
+
+        flops = 0.0
+        iops = 0.0
+        rounds = 0
+        comm_bytes = 0.0
+
+        work = [(np.arange(n, dtype=np.int64), 0, n_parts)]
+        while work:
+            next_work = []
+            level_vertices = 0
+            for idx, part0, parts in work:
+                if parts == 1 or idx.size == 0:
+                    owners[idx] = part0
+                    continue
+                left_parts = (parts + 1) // 2
+                frac = left_parts / parts
+                sub = coords[:, idx]
+                axis = principal_axis(sub, weights[idx])
+                key = axis @ sub
+                mask = weighted_median_split(key, weights[idx], frac)
+                next_work.append((idx[mask], part0, left_parts))
+                next_work.append((idx[~mask], part0 + left_parts, parts - left_parts))
+                level_vertices += idx.size
+            if level_vertices:
+                # covariance accumulation + projection + median probes
+                flops += (2.0 * ndim * ndim + 2.0 * ndim) * level_vertices
+                iops += MEDIAN_PROBES * PROBE_IOPS * level_vertices
+                rounds += MEDIAN_PROBES + 2  # probes + covariance reduces
+                comm_bytes += 0.5 * RECORD_BYTES * level_vertices
+            work = next_work
+
+        return PartitionResult(
+            owner_map=owners,
+            n_parts=n_parts,
+            flops=flops,
+            iops=iops,
+            sync_rounds=rounds,
+            comm_bytes=comm_bytes,
+        )

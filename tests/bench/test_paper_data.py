@@ -1,0 +1,76 @@
+"""Pins the paper-side facts the reproduction's shape checks rely on."""
+
+import pytest
+
+from repro.bench.paper_data import (
+    PAPER_TABLE1,
+    PAPER_TABLE2,
+    PAPER_TABLE3,
+    PAPER_TABLE4,
+    paper_block_vs_rcb_executor,
+    paper_compiler_overhead,
+    paper_rsb_over_rcb_partition,
+    paper_table1_speedups,
+    shape_report,
+)
+
+
+class TestPaperFacts:
+    def test_table1_complete(self):
+        assert len(PAPER_TABLE1) == 9
+        assert all(nr > r for nr, r in PAPER_TABLE1.values())
+
+    def test_reuse_speedups_in_published_range(self):
+        sp = paper_table1_speedups()
+        assert all(13.0 < v < 50.0 for v in sp.values())
+        # MD benefits most at equal processor count
+        assert sp[("648 atoms", 4)] > sp[("10K mesh", 4)]
+
+    def test_block_pays_2_to_3x_on_meshes(self):
+        ratios = paper_block_vs_rcb_executor()
+        for (workload, procs), ratio in ratios.items():
+            if "mesh" in workload:
+                assert 1.7 < ratio < 3.6, (workload, procs, ratio)
+
+    def test_rsb_partitioner_towers_over_rcb(self):
+        assert paper_rsb_over_rcb_partition() > 100
+
+    def test_compiler_within_10_percent(self):
+        assert paper_compiler_overhead() < 1.10
+
+    def test_rsb_executor_best_in_table2(self):
+        ex = {c.variant: c.executor for c in PAPER_TABLE2}
+        assert ex["RSB hand"] < ex["RCB hand"] < ex["BLOCK hand"]
+
+    def test_tables_3_4_same_configs(self):
+        assert set(PAPER_TABLE3) == set(PAPER_TABLE4)
+
+    def test_per_phase_sums_close_to_totals(self):
+        # rel=0.10: the scanned Table 3 loses a digit in the 10K/8 row
+        # (phases sum to 9.8 against a printed total of 10.8)
+        for key, (part, insp, remap, execu, total) in PAPER_TABLE3.items():
+            assert part + insp + remap + execu == pytest.approx(total, rel=0.10), key
+        for key, (insp, remap, execu, total) in PAPER_TABLE4.items():
+            assert insp + remap + execu == pytest.approx(total, rel=0.12), key
+
+    def test_executor_falls_with_processors(self):
+        for table, ex_idx in ((PAPER_TABLE3, 3), (PAPER_TABLE4, 2)):
+            for workload in ("10K mesh", "53K mesh", "648 atoms"):
+                execs = [
+                    v[ex_idx]
+                    for (w, p), v in sorted(table.items(), key=lambda kv: kv[0][1])
+                    if w == workload
+                ]
+                assert execs == sorted(execs, reverse=True), (workload, execs)
+
+
+class TestShapeReport:
+    def test_report_pairs_configs(self):
+        measured = {(w, p): 5.0 for (w, p) in PAPER_TABLE1}
+        rows = shape_report(measured)
+        assert len(rows) == 9
+        assert all(r["same_direction"] for r in rows)
+
+    def test_mismatched_count_rejected(self):
+        with pytest.raises(ValueError, match="expected 9"):
+            shape_report({("x", 4): 2.0})

@@ -1,0 +1,73 @@
+"""Structural tests for the table-assembly functions (tiny scale)."""
+
+import pytest
+
+from repro.bench.tables import (
+    fig2_phase_breakdown,
+    table1_schedule_reuse,
+    table2_mapper_coupler,
+    table3_rcb_detail,
+    table4_block,
+)
+
+
+@pytest.fixture(scope="module")
+def t1():
+    return table1_schedule_reuse("tiny")
+
+
+class TestTable1:
+    def test_nine_configs(self, t1):
+        rows, text = t1
+        assert len(rows) == 9
+        assert "Table 1" in text
+
+    def test_columns_present(self, t1):
+        rows, _ = t1
+        for row in rows:
+            assert {"config", "no_reuse", "reuse", "speedup"} <= set(row)
+
+    def test_reuse_wins_everywhere(self, t1):
+        rows, _ = t1
+        assert all(r["reuse"] < r["no_reuse"] for r in rows)
+
+    def test_config_labels(self, t1):
+        rows, _ = t1
+        labels = [r["config"] for r in rows]
+        assert labels[0].endswith("/4")
+        assert any("atoms" in lb for lb in labels)
+
+
+class TestTable2:
+    def test_six_variants(self):
+        rows, text = table2_mapper_coupler("tiny", n_procs=8)
+        assert len(rows) == 6
+        assert {r["column"] for r in rows} == {
+            "RCB compiler+reuse",
+            "RCB compiler no-reuse",
+            "RCB hand",
+            "BLOCK hand",
+            "RSB hand",
+            "RSB compiler+reuse",
+        }
+        block = next(r for r in rows if r["column"] == "BLOCK hand")
+        assert block["partition"] == 0
+
+
+class TestTables34:
+    def test_table3_has_partition_column(self):
+        rows, _ = table3_rcb_detail("tiny")
+        assert all("partition" in r for r in rows)
+        assert all(r["total"] > 0 for r in rows)
+
+    def test_table4_lacks_partition_column(self):
+        rows, _ = table4_block("tiny")
+        assert all("partition" not in r for r in rows)
+
+
+class TestFig2:
+    def test_four_phases(self):
+        rows, text = fig2_phase_breakdown("tiny", n_procs=8)
+        assert len(rows) == 4
+        assert rows[0]["phase"].startswith("A")
+        assert "Figure 2" in text

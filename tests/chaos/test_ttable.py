@@ -1,0 +1,133 @@
+"""Tests for translation tables."""
+
+import numpy as np
+import pytest
+
+from repro.chaos.ttable import (
+    DistributedTranslationTable,
+    RegularTranslationTable,
+    ReplicatedTranslationTable,
+    build_translation_table,
+)
+from repro.distribution import BlockDistribution, CyclicDistribution, IrregularDistribution
+from repro.machine import Machine
+
+
+@pytest.fixture
+def m4():
+    return Machine(4)
+
+
+def random_irregular(size, n_procs, seed=0):
+    rng = np.random.default_rng(seed)
+    return IrregularDistribution(rng.integers(0, n_procs, size=size), n_procs)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("variant", ["replicated", "distributed"])
+    def test_matches_distribution(self, m4, variant):
+        dist = random_irregular(50, 4)
+        tt = build_translation_table(m4, dist, variant=variant)
+        g = np.arange(50, dtype=np.int64)
+        owners, lidx = tt.dereference(1, g)
+        assert np.array_equal(owners, dist.owner(g))
+        assert np.array_equal(lidx, dist.local_index(g))
+
+    def test_regular_table(self, m4):
+        dist = CyclicDistribution(20, 4)
+        tt = build_translation_table(m4, dist)
+        assert isinstance(tt, RegularTranslationTable)
+        owners, lidx = tt.dereference(0, np.array([5, 6, 7]))
+        assert owners.tolist() == [1, 2, 3]
+
+    def test_dereference_all_matches_single(self, m4):
+        dist = random_irregular(60, 4, seed=3)
+        tt = DistributedTranslationTable(m4, dist)
+        refs = [np.arange(p, 60, 4, dtype=np.int64) for p in range(4)]
+        batched = tt.dereference_all(refs)
+        for p, (owners, lidx) in enumerate(batched):
+            assert np.array_equal(owners, dist.owner(refs[p]))
+            assert np.array_equal(lidx, dist.local_index(refs[p]))
+
+    def test_empty_reference_list(self, m4):
+        dist = random_irregular(10, 4)
+        tt = DistributedTranslationTable(m4, dist)
+        owners, lidx = tt.dereference(2, np.empty(0, dtype=np.int64))
+        assert owners.size == 0 and lidx.size == 0
+
+
+class TestCosts:
+    def test_regular_translation_is_cheap_and_local(self, m4):
+        dist = BlockDistribution(100, 4)
+        tt = RegularTranslationTable(m4, dist)
+        tt.dereference(0, np.arange(100))
+        assert m4.procs[0].stats.messages_sent == 0
+        assert m4.procs[0].stats.clock > 0
+
+    def test_replicated_charges_build_allgather(self):
+        m = Machine(4)
+        before = m.elapsed()
+        ReplicatedTranslationTable(m, random_irregular(100, 4))
+        assert m.elapsed() > before
+        assert m.procs[0].stats.messages_sent > 0
+
+    def test_distributed_dereference_messages_page_owners(self):
+        m = Machine(4)
+        dist = random_irregular(100, 4, seed=1)
+        tt = DistributedTranslationTable(m, dist)
+        sent_before = m.procs[0].stats.messages_sent
+        # proc 0 asks about indices on pages owned by procs 1..3
+        tt.dereference(0, np.arange(30, 100, dtype=np.int64))
+        assert m.procs[0].stats.messages_sent > sent_before
+
+    def test_local_page_probe_sends_nothing(self):
+        m = Machine(4)
+        dist = random_irregular(100, 4, seed=1)
+        tt = DistributedTranslationTable(m, dist)
+        m.reset()
+        # pages are block-distributed: indices 0..24 live on page-owner 0
+        tt.dereference(0, np.arange(0, 25, dtype=np.int64))
+        assert m.procs[0].stats.messages_sent == 0
+
+    def test_batched_dereference_message_parity(self):
+        """Batched dereference aggregates by page owner exactly like the
+        per-processor path: same message counts, same bytes."""
+        dist = random_irregular(200, 4, seed=2)
+        refs = [np.arange(200, dtype=np.int64) for _ in range(4)]
+        m_serial = Machine(4)
+        tt = DistributedTranslationTable(m_serial, dist)
+        m_serial.reset()
+        for p in range(4):
+            tt.dereference(p, refs[p])
+        m_batch = Machine(4)
+        tt2 = DistributedTranslationTable(m_batch, dist)
+        m_batch.reset()
+        tt2.dereference_all(refs)
+        for p in range(4):
+            assert (
+                m_batch.procs[p].stats.messages_sent
+                == m_serial.procs[p].stats.messages_sent
+            )
+            assert m_batch.procs[p].stats.bytes_sent == m_serial.procs[p].stats.bytes_sent
+
+
+class TestFactory:
+    def test_auto_regular(self, m4):
+        tt = build_translation_table(m4, BlockDistribution(10, 4))
+        assert isinstance(tt, RegularTranslationTable)
+
+    def test_auto_irregular(self, m4):
+        tt = build_translation_table(m4, random_irregular(10, 4))
+        assert isinstance(tt, DistributedTranslationTable)
+
+    def test_regular_variant_rejects_irregular(self, m4):
+        with pytest.raises(ValueError, match="regular distribution"):
+            build_translation_table(m4, random_irregular(10, 4), variant="regular")
+
+    def test_unknown_variant(self, m4):
+        with pytest.raises(ValueError, match="unknown translation table"):
+            build_translation_table(m4, BlockDistribution(10, 4), variant="paged")
+
+    def test_machine_mismatch(self, m4):
+        with pytest.raises(ValueError, match="spans 8"):
+            build_translation_table(m4, BlockDistribution(10, 8))

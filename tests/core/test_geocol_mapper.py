@@ -1,0 +1,165 @@
+"""Tests for GeoCoL construction and the mapper coupler."""
+
+import numpy as np
+import pytest
+
+from repro.core import construct_geocol, partition_geocol
+from repro.distribution import BlockDistribution, DistArray
+from repro.machine import Machine
+from repro.partitioners import PartitionResult, edge_cut
+
+
+@pytest.fixture
+def m4():
+    return Machine(4)
+
+
+def mesh_arrays(m, n=16, n_edges=30, seed=0):
+    rng = np.random.default_rng(seed)
+    dist = BlockDistribution(n, 4)
+    edist = BlockDistribution(n_edges, 4)
+    e1 = rng.integers(0, n, n_edges)
+    e2 = (e1 + 1 + rng.integers(0, n - 1, n_edges)) % n
+    return {
+        "xc": DistArray.from_global(m, dist, rng.normal(size=n), name="xc"),
+        "yc": DistArray.from_global(m, dist, rng.normal(size=n), name="yc"),
+        "w": DistArray.from_global(m, dist, rng.uniform(1, 2, n), name="w"),
+        "e1": DistArray.from_global(m, edist, e1, name="e1"),
+        "e2": DistArray.from_global(m, edist, e2, name="e2"),
+    }
+
+
+class TestConstruct:
+    def test_geometry_only(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G1", 16, geometry=[a["xc"], a["yc"]])
+        assert g.geometry.shape == (2, 16)
+        assert g.edges is None and g.load is None
+        prob = g.to_problem()
+        assert prob.coords is not None and prob.edges is None
+
+    def test_load_only(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G2", 16, load=a["w"])
+        assert g.load.shape == (16,)
+
+    def test_link_only(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G3", 16, link=(a["e1"], a["e2"]))
+        assert g.edges.shape == (2, 30)
+        assert g.n_edges == 30
+
+    def test_combined(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(
+            m4, "G4", 16, geometry=[a["xc"]], load=a["w"], link=(a["e1"], a["e2"])
+        )
+        assert g.geometry is not None and g.load is not None and g.edges is not None
+
+    def test_tracks_source_dads(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]], link=(a["e1"], a["e2"]))
+        assert set(g.source_dads) == {"xc", "e1", "e2"}
+
+    def test_nothing_specified_rejected(self, m4):
+        with pytest.raises(ValueError, match="at least one"):
+            construct_geocol(m4, "G", 16)
+
+    def test_geometry_size_mismatch(self, m4):
+        a = mesh_arrays(m4)
+        with pytest.raises(ValueError, match="size 16"):
+            construct_geocol(m4, "G", 20, geometry=[a["xc"]])
+
+    def test_edge_range_checked(self, m4):
+        a = mesh_arrays(m4)
+        with pytest.raises(ValueError, match="endpoints"):
+            construct_geocol(m4, "G", 10, link=(a["e1"], a["e2"]))
+
+    def test_edge_list_size_mismatch(self, m4):
+        a = mesh_arrays(m4)
+        short = DistArray.from_global(
+            m4, BlockDistribution(10, 4), np.zeros(10, dtype=np.int64)
+        )
+        with pytest.raises(ValueError, match="different sizes"):
+            construct_geocol(m4, "G", 16, link=(a["e1"], short))
+
+    def test_charges_generation(self, m4):
+        a = mesh_arrays(m4)
+        before = m4.elapsed()
+        construct_geocol(m4, "G", 16, link=(a["e1"], a["e2"]))
+        assert m4.elapsed() > before
+
+
+class TestMapperCoupler:
+    def test_partition_by_name(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"], a["yc"]])
+        dist, result = partition_geocol(m4, g, "RCB")
+        assert dist.size == 16 and dist.n_procs == 4
+        assert set(np.unique(dist.owner_map())) <= {0, 1, 2, 3}
+
+    def test_partition_rsb_uses_links(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, link=(a["e1"], a["e2"]))
+        dist, result = partition_geocol(m4, g, "RSB")
+        cut = edge_cut(g.edges, dist.owner_map())
+        assert cut < g.n_edges  # something got localized
+
+    def test_charges_modeled_cost(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]])
+        before = m4.elapsed()
+        partition_geocol(m4, g, "RCB")
+        assert m4.elapsed() > before
+
+    def test_rsb_charged_more_than_rcb(self):
+        # needs a graph big enough for the modeled Lanczos cost to show
+        times = {}
+        for name in ("RCB", "RSB"):
+            m = Machine(4)
+            a = mesh_arrays(m, n=400, n_edges=1600, seed=2)
+            g = construct_geocol(
+                m, "G", 400, geometry=[a["xc"]], link=(a["e1"], a["e2"])
+            )
+            m.reset()
+            partition_geocol(m, g, name)
+            times[name] = m.elapsed()
+        assert times["RSB"] > 3 * times["RCB"]
+
+    def test_custom_partitioner_object(self, m4):
+        class Custom:
+            def partition(self, problem, n_parts):
+                return PartitionResult(
+                    owner_map=np.arange(problem.n_vertices) % n_parts,
+                    n_parts=n_parts,
+                    iops=float(problem.n_vertices),
+                )
+
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]])
+        dist, _ = partition_geocol(m4, g, Custom())
+        assert dist.owner_map().tolist() == (np.arange(16) % 4).tolist()
+
+    def test_non_partitioner_rejected(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]])
+        with pytest.raises(TypeError, match="calling sequence|partition"):
+            partition_geocol(m4, g, object())
+
+    def test_wrong_owner_count_detected(self, m4):
+        class Broken:
+            def partition(self, problem, n_parts):
+                return PartitionResult(
+                    owner_map=np.zeros(3, dtype=np.int64), n_parts=n_parts
+                )
+
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]])
+        with pytest.raises(ValueError, match="16 vertices"):
+            partition_geocol(m4, g, Broken())
+
+    def test_explicit_n_parts(self, m4):
+        a = mesh_arrays(m4)
+        g = construct_geocol(m4, "G", 16, geometry=[a["xc"]])
+        dist, _ = partition_geocol(m4, g, "RCB", n_parts=2)
+        assert set(np.unique(dist.owner_map())) <= {0, 1}

@@ -1,0 +1,251 @@
+"""Integration tests for IrregularProgram: the full Figure 4/5 pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRef, Assign, ForallLoop, IrregularProgram, Reduce
+from repro.machine import Machine
+
+
+@pytest.fixture
+def m4():
+    return Machine(4)
+
+
+def edge_loop(n_edges, flops=2.0):
+    x1, x2 = ArrayRef("x", "end_pt1"), ArrayRef("x", "end_pt2")
+    return ForallLoop(
+        "edge_sweep",
+        n_edges,
+        [
+            Reduce("add", ArrayRef("y", "end_pt1"), lambda a, b: a * b, (x1, x2), flops=flops),
+            Reduce("add", ArrayRef("y", "end_pt2"), lambda a, b: a - b, (x1, x2), flops=flops),
+        ],
+    )
+
+
+def build_figure4_program(m, n_nodes=24, n_edges=40, seed=0, **kwargs):
+    """The paper's Figure 4 program: read mesh, construct GeoCoL from
+    LINK info, partition with RSB, redistribute, sweep edges."""
+    rng = np.random.default_rng(seed)
+    e1 = rng.integers(0, n_nodes, n_edges)
+    e2 = (e1 + 1 + rng.integers(0, n_nodes - 1, n_edges)) % n_nodes
+    prog = IrregularProgram(m, **kwargs)
+    prog.decomposition("reg", n_nodes)
+    prog.decomposition("reg2", n_edges)
+    prog.distribute("reg", "block")
+    prog.distribute("reg2", "block")
+    prog.array("x", "reg", values=rng.normal(size=n_nodes))
+    prog.array("y", "reg", values=np.zeros(n_nodes))
+    prog.array("end_pt1", "reg2", values=e1, dtype=np.int64)
+    prog.array("end_pt2", "reg2", values=e2, dtype=np.int64)
+    return prog, e1, e2
+
+
+def sweep_reference(x, y, e1, e2, times=1):
+    out = y.copy()
+    for _ in range(times):
+        np.add.at(out, e1, x[e1] * x[e2])
+        np.add.at(out, e2, x[e1] - x[e2])
+    return out
+
+
+class TestFigure4Pipeline:
+    def test_full_pipeline_correct(self, m4):
+        prog, e1, e2 = build_figure4_program(m4)
+        x0 = prog.arrays["x"].to_global()
+        prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        prog.set_distribution("distfmt", "G", "RSB")
+        prog.redistribute("reg", "distfmt")
+        prog.forall(edge_loop(40), n_times=3)
+        want = sweep_reference(x0, np.zeros(24), e1, e2, times=3)
+        assert np.allclose(prog.arrays["y"].to_global(), want)
+        # arrays actually moved to the irregular distribution
+        assert prog.arrays["x"].distribution.kind == "irregular"
+
+    def test_geometry_variant_figure5(self, m4):
+        """Figure 5: GEOMETRY-based GeoCoL partitioned with RCB."""
+        prog, e1, e2 = build_figure4_program(m4)
+        rng = np.random.default_rng(1)
+        prog.array("xc", "reg", values=rng.normal(size=24))
+        prog.array("yc", "reg", values=rng.normal(size=24))
+        prog.array("zc", "reg", values=rng.normal(size=24))
+        prog.construct("G", 24, geometry=["xc", "yc", "zc"])
+        prog.set_distribution("distfmt", "G", "RCB")
+        prog.redistribute("reg", "distfmt")
+        x0 = prog.arrays["x"].to_global()
+        prog.forall(edge_loop(40))
+        want = sweep_reference(x0, np.zeros(24), e1, e2)
+        assert np.allclose(prog.arrays["y"].to_global(), want)
+
+    def test_rcb_on_link_only_geocol_rejected(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        with pytest.raises(ValueError, match="GEOMETRY"):
+            prog.set_distribution("distfmt", "G", "RCB")
+
+    def test_phase_times_positive(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        prog.set_distribution("distfmt", "G", "RSB")
+        prog.redistribute("reg", "distfmt")
+        prog.forall(edge_loop(40), n_times=2)
+        for phase in ["graph_generation", "partition", "remap", "inspector", "executor"]:
+            assert prog.phase_time(phase) > 0, phase
+
+
+class TestScheduleReuse:
+    def test_inspector_runs_once_with_reuse(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.forall(edge_loop(40), n_times=10, reuse=True)
+        assert prog.inspector_runs == 1
+        assert prog.reuse_hits == 9
+
+    def test_inspector_runs_every_time_without_reuse(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.forall(edge_loop(40), n_times=10, reuse=False)
+        assert prog.inspector_runs == 10
+
+    def test_reuse_is_faster(self):
+        t = {}
+        for reuse in (True, False):
+            m = Machine(4)
+            prog, *_ = build_figure4_program(m)
+            m.reset()
+            prog.forall(edge_loop(40), n_times=10, reuse=reuse)
+            t[reuse] = m.elapsed()
+        assert t[True] < t[False]
+
+    def test_redistribute_invalidates(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.forall(edge_loop(40), n_times=2)
+        assert prog.inspector_runs == 1
+        prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        prog.set_distribution("distfmt", "G", "RSB")
+        prog.redistribute("reg", "distfmt")
+        prog.forall(edge_loop(40), n_times=2)
+        assert prog.inspector_runs == 2  # re-inspected once after remap
+
+    def test_indirection_write_invalidates(self, m4):
+        prog, e1, e2 = build_figure4_program(m4)
+        prog.forall(edge_loop(40), n_times=1)
+        rng = np.random.default_rng(9)
+        new_e1 = rng.integers(0, 24, 40)
+        prog.set_array("end_pt1", new_e1)
+        prog.forall(edge_loop(40), n_times=1)
+        assert prog.inspector_runs == 2
+        # and the results reflect the NEW indirection values
+        x0 = prog.arrays["x"].to_global()
+
+    def test_data_write_does_not_invalidate(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        prog.forall(edge_loop(40), n_times=1)
+        prog.set_array("y", np.zeros(24))  # y is a data array
+        prog.forall(edge_loop(40), n_times=1)
+        assert prog.inspector_runs == 1
+        assert prog.reuse_hits == 1
+
+    def test_results_identical_with_and_without_reuse(self):
+        outs = {}
+        for reuse in (True, False):
+            m = Machine(4)
+            prog, e1, e2 = build_figure4_program(m)
+            prog.forall(edge_loop(40), n_times=5, reuse=reuse)
+            outs[reuse] = prog.arrays["y"].to_global()
+        assert np.allclose(outs[True], outs[False])
+
+
+class TestGeoColReuse:
+    def test_unchanged_geocol_reused(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        g1 = prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        g2 = prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        assert g2 is g1
+        assert prog.geocol_reuse_hits == 1
+
+    def test_modified_source_rebuilds(self, m4):
+        prog, *_ = build_figure4_program(m4)
+        g1 = prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        prog.set_array("end_pt1", np.zeros(40, dtype=np.int64))
+        g2 = prog.construct("G", 24, link=("end_pt1", "end_pt2"))
+        assert g2 is not g1
+        assert prog.geocol_reuse_hits == 0
+
+
+class TestDeclarations:
+    def test_duplicate_decomposition(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("reg", 10)
+        with pytest.raises(ValueError, match="already declared"):
+            prog.decomposition("reg", 10)
+
+    def test_duplicate_array(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("reg", 10)
+        prog.distribute("reg", "block")
+        prog.array("x", "reg")
+        with pytest.raises(ValueError, match="already declared"):
+            prog.array("x", "reg")
+
+    def test_array_before_distribute(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("reg", 10)
+        with pytest.raises(ValueError, match="not distributed"):
+            prog.array("x", "reg")
+
+    def test_unknown_decomposition(self, m4):
+        prog = IrregularProgram(m4)
+        with pytest.raises(KeyError, match="never declared"):
+            prog.distribute("reg", "block")
+
+    def test_unknown_geocol(self, m4):
+        prog = IrregularProgram(m4)
+        with pytest.raises(KeyError, match="never constructed"):
+            prog.set_distribution("d", "G", "RCB")
+
+    def test_unknown_spec(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("reg", 10)
+        with pytest.raises(ValueError, match="unknown distribution spec"):
+            prog.distribute("reg", "diagonal")
+
+    def test_cyclic_and_block_cyclic_specs(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("a", 10)
+        prog.distribute("a", "cyclic")
+        prog.decomposition("b", 10)
+        prog.distribute("b", ("block_cyclic", 2))
+        assert prog.decomps["a"].distribution.kind == "cyclic"
+        assert prog.decomps["b"].distribution.kind == "block_cyclic"
+
+    def test_set_array_shape_checked(self, m4):
+        prog = IrregularProgram(m4)
+        prog.decomposition("reg", 10)
+        prog.distribute("reg", "block")
+        prog.array("x", "reg")
+        with pytest.raises(ValueError, match="expected shape"):
+            prog.set_array("x", np.zeros(5))
+
+
+class TestTrackingOverhead:
+    def test_hand_path_charges_less(self):
+        t = {}
+        for track in (True, False):
+            m = Machine(4)
+            prog, *_ = build_figure4_program(m, track=track)
+            m.reset()
+            prog.forall(edge_loop(40), n_times=20, reuse=True)
+            t[track] = m.elapsed()
+        assert t[False] <= t[True]
+
+    def test_overhead_is_small(self):
+        """The paper's claim: compiler-generated (tracked) code is within
+        ~10% of hand-coded."""
+        t = {}
+        for track in (True, False):
+            m = Machine(4)
+            prog, *_ = build_figure4_program(m, track=track)
+            m.reset()
+            prog.forall(edge_loop(40, flops=30.0), n_times=50, reuse=True)
+            t[track] = m.elapsed()
+        assert t[True] <= 1.10 * t[False]

@@ -1,0 +1,131 @@
+"""Tests for loop-derived LOAD weights (Section 4.1.1)."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRef, Assign, ForallLoop, Reduce
+from repro.core.weights import derive_loop_weights
+from repro.distribution import BlockDistribution, DistArray
+from repro.machine import Machine
+from repro.partitioners import load_imbalance
+from repro.workloads import generate_mesh
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+
+
+@pytest.fixture
+def m4():
+    return Machine(4)
+
+
+def make_ind(m, values, name):
+    values = np.asarray(values, dtype=np.int64)
+    return DistArray.from_global(
+        m, BlockDistribution(values.size, m.n_procs), values, name=name
+    )
+
+
+class TestDeriveWeights:
+    def test_l1_gives_unit_weights(self, m4):
+        """Loop L1 writes each target once -> unit weights at targets."""
+        ia = np.array([3, 1, 4, 0, 2])
+        arrays = {"ia": make_ind(m4, ia, "ia")}
+        loop = ForallLoop(
+            "L1",
+            5,
+            [Assign(ArrayRef("y", "ia"), lambda a: a, (ArrayRef("x", "ib"),), flops=1)],
+        )
+        w = derive_loop_weights(loop, arrays, 6)
+        assert w.tolist() == [1.0, 1.0, 1.0, 1.0, 1.0, 0.0]
+
+    def test_l2_gives_degree_weights(self, m4):
+        """Loop L2's weight is proportional to vertex degree."""
+        e1 = np.array([0, 0, 1])
+        e2 = np.array([1, 2, 2])
+        arrays = {"e1": make_ind(m4, e1, "e1"), "e2": make_ind(m4, e2, "e2")}
+        x1, x2 = ArrayRef("x", "e1"), ArrayRef("x", "e2")
+        loop = ForallLoop(
+            "L2",
+            3,
+            [
+                Reduce("add", ArrayRef("y", "e1"), lambda a, b: a, (x1, x2), flops=1),
+                Reduce("add", ArrayRef("y", "e2"), lambda a, b: b, (x1, x2), flops=1),
+            ],
+        )
+        w = derive_loop_weights(loop, arrays, 3)
+        degree = np.array([2.0, 2.0, 2.0])  # triangle: each vertex degree 2
+        assert np.array_equal(w, degree)
+
+    def test_flops_scale_weights(self, m4):
+        ia = np.array([0, 0, 1])
+        arrays = {"ia": make_ind(m4, ia, "ia")}
+        loop = ForallLoop(
+            "L",
+            3,
+            [Reduce("add", ArrayRef("y", "ia"), lambda a: a, (ArrayRef("x", "ia"),), flops=5)],
+        )
+        w = derive_loop_weights(loop, arrays, 2)
+        assert w.tolist() == [10.0, 5.0]
+
+    def test_direct_lhs(self, m4):
+        loop = ForallLoop(
+            "L", 4, [Assign(ArrayRef("y"), lambda a: a, (ArrayRef("x"),), flops=2)]
+        )
+        w = derive_loop_weights(loop, {}, 4)
+        assert w.tolist() == [2.0, 2.0, 2.0, 2.0]
+
+    def test_target_array_filter(self, m4):
+        ia = np.array([0, 1])
+        ib = np.array([1, 1])
+        arrays = {"ia": make_ind(m4, ia, "ia"), "ib": make_ind(m4, ib, "ib")}
+        loop = ForallLoop(
+            "L",
+            2,
+            [
+                Reduce("add", ArrayRef("y", "ia"), lambda a: a, (ArrayRef("x", "ia"),), flops=1),
+                Reduce("add", ArrayRef("z", "ib"), lambda a: a, (ArrayRef("x", "ib"),), flops=1),
+            ],
+        )
+        w = derive_loop_weights(loop, arrays, 2, target_array="y")
+        assert w.tolist() == [1.0, 1.0]
+
+    def test_unbound_indirection(self, m4):
+        loop = ForallLoop(
+            "L", 2, [Assign(ArrayRef("y", "missing"), lambda a: a, (ArrayRef("x"),))]
+        )
+        with pytest.raises(KeyError, match="missing"):
+            derive_loop_weights(loop, {}, 2)
+
+    def test_out_of_range_target(self, m4):
+        ia = np.array([5])
+        arrays = {"ia": make_ind(m4, ia, "ia")}
+        loop = ForallLoop(
+            "L", 1, [Assign(ArrayRef("y", "ia"), lambda a: a, (ArrayRef("x"),))]
+        )
+        with pytest.raises(IndexError, match="outside"):
+            derive_loop_weights(loop, arrays, 3)
+
+    def test_size_mismatch(self, m4):
+        ia = np.array([0, 1, 2])
+        arrays = {"ia": make_ind(m4, ia, "ia")}
+        loop = ForallLoop(
+            "L", 5, [Assign(ArrayRef("y", "ia"), lambda a: a, (ArrayRef("x"),))]
+        )
+        with pytest.raises(ValueError, match="iterates 5"):
+            derive_loop_weights(loop, arrays, 3)
+
+
+class TestEndToEndWeightedPartitioning:
+    def test_weighted_rcb_balances_loop_work(self):
+        """Partitioning with loop-derived weights balances *work* (edge
+        endpoints), not just node counts -- the paper's motivation for
+        combining GEOMETRY with LOAD on graded meshes."""
+        mesh = generate_mesh(600, seed=17)
+        m = Machine(8)
+        prog = setup_euler_program(m, mesh, seed=17)
+        loop = euler_edge_loop(mesh)
+        w = derive_loop_weights(loop, prog.arrays, mesh.n_nodes, target_array="y")
+        prog.array("w", "reg", values=w)
+        prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"], load="w")
+        prog.set_distribution("fmt", "G", "RCB")
+        owners = prog.distfmts["fmt"].owner_map()
+        assert load_imbalance(owners, 8, weights=w) < 1.25

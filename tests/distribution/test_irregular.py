@@ -1,0 +1,83 @@
+"""Tests for the irregular (owner-map) distribution."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import IrregularDistribution
+
+
+class TestBasics:
+    def test_owner_follows_map(self):
+        d = IrregularDistribution([1, 0, 1, 0, 2], 3)
+        assert d.owner_map().tolist() == [1, 0, 1, 0, 2]
+        assert int(d.owner(4)) == 2
+
+    def test_local_sizes(self):
+        d = IrregularDistribution([1, 0, 1, 0, 2], 3)
+        assert [d.local_size(p) for p in range(3)] == [2, 2, 1]
+
+    def test_local_order_follows_global_order(self):
+        d = IrregularDistribution([1, 0, 1, 0, 2], 3)
+        assert d.local_indices(0).tolist() == [1, 3]
+        assert d.local_indices(1).tolist() == [0, 2]
+        assert d.local_indices(2).tolist() == [4]
+
+    def test_local_index(self):
+        d = IrregularDistribution([1, 0, 1, 0, 2], 3)
+        assert int(d.local_index(0)) == 0  # first element owned by proc 1
+        assert int(d.local_index(2)) == 1  # second element owned by proc 1
+        assert int(d.local_index(3)) == 1
+
+    def test_round_trip(self):
+        rng = np.random.default_rng(7)
+        owners = rng.integers(0, 4, size=37)
+        d = IrregularDistribution(owners, 4)
+        g = np.arange(37)
+        p = d.owner(g)
+        l = d.local_index(g)
+        back = np.array([d.global_index(int(pi), int(li)) for pi, li in zip(p, l)])
+        assert np.array_equal(back, g)
+
+    def test_empty_processor_allowed(self):
+        d = IrregularDistribution([0, 0, 0], 3)
+        assert d.local_size(2) == 0
+        assert d.local_indices(2).size == 0
+
+
+class TestValidation:
+    def test_out_of_range_owner(self):
+        with pytest.raises(ValueError, match="out of range"):
+            IrregularDistribution([0, 3], 3)
+
+    def test_negative_owner(self):
+        with pytest.raises(ValueError, match="out of range"):
+            IrregularDistribution([0, -1], 3)
+
+    def test_two_d_rejected(self):
+        with pytest.raises(ValueError, match="1-D"):
+            IrregularDistribution([[0, 1]], 2)
+
+    def test_bad_local_index(self):
+        d = IrregularDistribution([0, 1], 2)
+        with pytest.raises(IndexError, match="local index"):
+            d.global_index(0, 1)
+
+
+class TestSignature:
+    def test_same_map_same_signature(self):
+        a = IrregularDistribution([0, 1, 1, 0], 2)
+        b = IrregularDistribution([0, 1, 1, 0], 2)
+        assert a == b and a.signature() == b.signature()
+
+    def test_different_map_different_signature(self):
+        a = IrregularDistribution([0, 1, 1, 0], 2)
+        b = IrregularDistribution([1, 0, 1, 0], 2)
+        assert a != b
+
+    def test_remap_detectable(self):
+        """The property the schedule-reuse check relies on: redistributing
+        changes the signature even when sizes and kinds match."""
+        a = IrregularDistribution([0, 0, 1, 1], 2)
+        b = IrregularDistribution([1, 1, 0, 0], 2)
+        assert a.signature() != b.signature()
+        assert a.signature()[:3] == b.signature()[:3]

@@ -1,0 +1,81 @@
+"""Property-based invariants every distribution must satisfy."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+    IrregularDistribution,
+)
+
+
+@st.composite
+def distributions(draw):
+    size = draw(st.integers(min_value=0, max_value=200))
+    n_procs = draw(st.integers(min_value=1, max_value=9))
+    kind = draw(st.sampled_from(["block", "cyclic", "block_cyclic", "irregular"]))
+    if kind == "block":
+        return BlockDistribution(size, n_procs)
+    if kind == "cyclic":
+        return CyclicDistribution(size, n_procs)
+    if kind == "block_cyclic":
+        block = draw(st.integers(min_value=1, max_value=7))
+        return BlockCyclicDistribution(size, n_procs, block)
+    owners = draw(
+        st.lists(
+            st.integers(min_value=0, max_value=n_procs - 1),
+            min_size=size,
+            max_size=size,
+        )
+    )
+    return IrregularDistribution(np.asarray(owners, dtype=np.int64), n_procs)
+
+
+@given(distributions())
+@settings(max_examples=120)
+def test_sizes_partition_the_index_space(d):
+    assert sum(d.local_size(p) for p in range(d.n_procs)) == d.size
+
+
+@given(distributions())
+@settings(max_examples=120)
+def test_owner_local_global_bijection(d):
+    g = np.arange(d.size, dtype=np.int64)
+    owners = np.asarray(d.owner(g))
+    lidx = np.asarray(d.local_index(g))
+    assert owners.min(initial=0) >= 0
+    assert owners.max(initial=0) <= d.n_procs - 1 or d.size == 0
+    for p in range(d.n_procs):
+        mine = g[owners == p]
+        lmine = lidx[owners == p]
+        n = d.local_size(p)
+        assert mine.size == n
+        if n:
+            # local indices are exactly 0..n-1, each once
+            assert sorted(lmine.tolist()) == list(range(n))
+            back = np.asarray(d.global_index(p, lmine))
+            assert np.array_equal(back, mine)
+
+
+@given(distributions())
+@settings(max_examples=120)
+def test_local_indices_consistent_with_owner(d):
+    for p in range(d.n_procs):
+        gl = d.local_indices(p)
+        if gl.size:
+            assert np.all(np.asarray(d.owner(gl)) == p)
+            # local_indices is ordered by local offset
+            assert np.array_equal(
+                np.asarray(d.local_index(gl)), np.arange(gl.size)
+            )
+
+
+@given(distributions())
+@settings(max_examples=60)
+def test_owner_map_matches_elementwise(d):
+    om = d.owner_map()
+    assert om.size == d.size
+    for g in range(0, d.size, max(1, d.size // 7)):
+        assert om[g] == int(d.owner(g))

@@ -1,0 +1,129 @@
+"""Tests for BLOCK / CYCLIC / BLOCK-CYCLIC distributions."""
+
+import numpy as np
+import pytest
+
+from repro.distribution import (
+    BlockCyclicDistribution,
+    BlockDistribution,
+    CyclicDistribution,
+)
+
+
+class TestBlock:
+    def test_even_split(self):
+        d = BlockDistribution(8, 4)
+        assert [d.local_size(p) for p in range(4)] == [2, 2, 2, 2]
+        assert d.owner(0) == 0 and d.owner(7) == 3
+
+    def test_uneven_split_last_procs_short(self):
+        d = BlockDistribution(10, 4)  # chunk = 3
+        assert [d.local_size(p) for p in range(4)] == [3, 3, 3, 1]
+        assert d.owner(9) == 3
+
+    def test_empty_trailing_processor(self):
+        d = BlockDistribution(9, 4)  # chunk = 3: procs get 3,3,3,0
+        assert d.local_size(3) == 0
+
+    def test_vectorized_owner(self):
+        d = BlockDistribution(100, 4)
+        owners = d.owner(np.arange(100))
+        assert owners[0] == 0 and owners[99] == 3
+        assert np.all(np.diff(owners) >= 0)  # block owners are monotone
+
+    def test_local_index(self):
+        d = BlockDistribution(10, 4)
+        assert d.local_index(0) == 0
+        assert d.local_index(5) == 2
+
+    def test_round_trip(self):
+        d = BlockDistribution(10, 4)
+        for g in range(10):
+            p = int(d.owner(g))
+            assert int(d.global_index(p, int(d.local_index(g)))) == g
+
+    def test_out_of_range_global(self):
+        d = BlockDistribution(10, 4)
+        with pytest.raises(IndexError, match="out of range"):
+            d.owner(10)
+
+    def test_out_of_range_local(self):
+        d = BlockDistribution(10, 4)
+        with pytest.raises(IndexError, match="local index"):
+            d.global_index(3, 2)
+
+    def test_zero_size(self):
+        d = BlockDistribution(0, 4)
+        assert all(d.local_size(p) == 0 for p in range(4))
+
+    def test_local_indices_contiguous(self):
+        d = BlockDistribution(10, 4)
+        assert d.local_indices(1).tolist() == [3, 4, 5]
+
+
+class TestCyclic:
+    def test_owner_mod(self):
+        d = CyclicDistribution(10, 3)
+        assert [int(d.owner(g)) for g in range(6)] == [0, 1, 2, 0, 1, 2]
+
+    def test_local_sizes_balanced(self):
+        d = CyclicDistribution(10, 3)
+        assert [d.local_size(p) for p in range(3)] == [4, 3, 3]
+
+    def test_round_trip(self):
+        d = CyclicDistribution(11, 3)
+        for g in range(11):
+            p = int(d.owner(g))
+            assert int(d.global_index(p, int(d.local_index(g)))) == g
+
+    def test_local_indices_strided(self):
+        d = CyclicDistribution(10, 3)
+        assert d.local_indices(1).tolist() == [1, 4, 7]
+
+
+class TestBlockCyclic:
+    def test_block_size_one_is_cyclic(self):
+        bc = BlockCyclicDistribution(12, 3, block=1)
+        cy = CyclicDistribution(12, 3)
+        assert np.array_equal(bc.owner_map(), cy.owner_map())
+
+    def test_large_block_is_block(self):
+        bc = BlockCyclicDistribution(12, 3, block=4)
+        bl = BlockDistribution(12, 3)
+        assert np.array_equal(bc.owner_map(), bl.owner_map())
+
+    def test_dealing(self):
+        d = BlockCyclicDistribution(12, 2, block=2)
+        assert d.owner_map().tolist() == [0, 0, 1, 1, 0, 0, 1, 1, 0, 0, 1, 1]
+
+    def test_short_last_block(self):
+        d = BlockCyclicDistribution(10, 2, block=3)
+        # blocks: [0,1,2]->0  [3,4,5]->1  [6,7,8]->0  [9]->1
+        assert [d.local_size(p) for p in range(2)] == [6, 4]
+
+    def test_round_trip(self):
+        d = BlockCyclicDistribution(23, 4, block=3)
+        for g in range(23):
+            p = int(d.owner(g))
+            assert int(d.global_index(p, int(d.local_index(g)))) == g
+
+    def test_invalid_block(self):
+        with pytest.raises(ValueError, match="block size"):
+            BlockCyclicDistribution(10, 2, block=0)
+
+    def test_signature_includes_block(self):
+        a = BlockCyclicDistribution(10, 2, block=2)
+        b = BlockCyclicDistribution(10, 2, block=5)
+        assert a.signature() != b.signature()
+
+
+class TestEquality:
+    def test_same_params_equal(self):
+        assert BlockDistribution(10, 4) == BlockDistribution(10, 4)
+        assert hash(BlockDistribution(10, 4)) == hash(BlockDistribution(10, 4))
+
+    def test_kind_differs(self):
+        assert BlockDistribution(10, 2) != CyclicDistribution(10, 2)
+
+    def test_size_differs(self):
+        assert BlockDistribution(10, 2) != BlockDistribution(11, 2)

@@ -1,0 +1,123 @@
+"""Figure 3: explicit irregular distribution through a map array.
+
+"In Fortran D, one declares a template called a distribution [...]  An
+irregular distribution is specified using an integer array; when map(i)
+is set equal to p, element i of the distribution irreg is assigned to
+processor p."
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRef, ForallLoop, IrregularProgram, Reduce
+from repro.lang import AnalysisError, run_program
+from repro.machine import Machine
+
+
+class TestProgramAPI:
+    def make(self, m, n=12):
+        prog = IrregularProgram(m)
+        prog.decomposition("reg", n)
+        prog.distribute("reg", "block")
+        rng = np.random.default_rng(3)
+        owners = rng.integers(0, m.n_procs, n)
+        prog.array("map", "reg", values=owners, dtype=np.int64)
+        return prog, owners
+
+    def test_distribute_by_map_before_align(self):
+        m = Machine(4)
+        prog, owners = self.make(m)
+        prog.decomposition("irreg", 12)
+        prog.distribute_by_map("irreg", "map")
+        prog.array("x", "irreg", values=np.arange(12.0))
+        assert prog.arrays["x"].distribution.kind == "irregular"
+        assert np.array_equal(
+            prog.arrays["x"].distribution.owner_map(), owners
+        )
+        assert np.array_equal(prog.arrays["x"].to_global(), np.arange(12.0))
+
+    def test_distribute_by_map_with_live_arrays_remaps(self):
+        m = Machine(4)
+        prog, owners = self.make(m)
+        prog.decomposition("irreg", 12)
+        prog.distribute("irreg", "block")
+        prog.array("x", "irreg", values=np.arange(12.0))
+        prog.distribute_by_map("irreg", "map")
+        assert prog.arrays["x"].distribution.kind == "irregular"
+        assert np.array_equal(prog.arrays["x"].to_global(), np.arange(12.0))
+
+    def test_non_integer_map_rejected(self):
+        m = Machine(4)
+        prog = IrregularProgram(m)
+        prog.decomposition("reg", 8)
+        prog.distribute("reg", "block")
+        prog.array("w", "reg", values=np.zeros(8))
+        prog.decomposition("irreg", 8)
+        with pytest.raises(ValueError, match="must be INTEGER"):
+            prog.distribute_by_map("irreg", "w")
+
+    def test_size_mismatch_rejected(self):
+        m = Machine(4)
+        prog, _ = self.make(m, n=12)
+        prog.decomposition("irreg", 10)
+        with pytest.raises(ValueError, match="size 12"):
+            prog.distribute_by_map("irreg", "map")
+
+    def test_out_of_range_owner_rejected(self):
+        m = Machine(4)
+        prog = IrregularProgram(m)
+        prog.decomposition("reg", 8)
+        prog.distribute("reg", "block")
+        prog.array("map", "reg", values=np.full(8, 9), dtype=np.int64)
+        prog.decomposition("irreg", 8)
+        with pytest.raises(ValueError, match="out of range"):
+            prog.distribute_by_map("irreg", "map")
+
+
+FIGURE3 = """
+REAL*8 x(n), y(n)
+INTEGER map(n), ia(n)
+DECOMPOSITION reg(n), irreg(n)
+DISTRIBUTE reg(BLOCK)
+ALIGN map WITH reg
+DISTRIBUTE irreg(map)
+ALIGN x, y, ia WITH irreg
+FORALL i = 1, n
+  REDUCE (ADD, y(ia(i)), x(ia(i)))
+END FORALL
+"""
+
+
+class TestLangFigure3:
+    def test_figure3_program_runs(self):
+        n = 16
+        rng = np.random.default_rng(7)
+        owners = rng.integers(0, 4, n)
+        ia = rng.integers(0, n, n)
+        x = rng.normal(size=n)
+        cp = run_program(
+            FIGURE3,
+            Machine(4),
+            sizes={"N": n},
+            data={"MAP": owners, "IA": ia, "X": x},
+        )
+        assert cp.program.arrays["X"].distribution.kind == "irregular"
+        assert np.array_equal(
+            cp.program.arrays["X"].distribution.owner_map(), owners
+        )
+        want = np.zeros(n)
+        np.add.at(want, ia, x[ia])
+        assert np.allclose(cp.array_global("Y"), want)
+
+    def test_unknown_format_still_rejected(self):
+        src = "DECOMPOSITION reg(n)\nDISTRIBUTE reg(DIAGONAL)"
+        with pytest.raises(AnalysisError, match="unsupported distribution"):
+            run_program(src, Machine(2), sizes={"N": 4})
+
+    def test_real_map_rejected_at_analysis(self):
+        src = (
+            "REAL*8 w(n)\nDECOMPOSITION reg(n), irreg(n)\n"
+            "DISTRIBUTE reg(BLOCK)\nALIGN w WITH reg\nDISTRIBUTE irreg(w)"
+        )
+        with pytest.raises(AnalysisError, match="must be INTEGER"):
+            run_program(src, Machine(2), sizes={"N": 4})

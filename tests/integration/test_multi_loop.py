@@ -1,0 +1,98 @@
+"""Multi-loop programs: the paper's 'same set of distributed arrays are
+used by many loops' scenario -- each loop keeps its own inspector record;
+reuse is per loop; a remap invalidates all of them at once."""
+
+import numpy as np
+import pytest
+
+from repro.core import ArrayRef, Assign, ForallLoop, IrregularProgram, Reduce
+from repro.machine import Machine
+from repro.workloads import generate_mesh
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+
+
+def face_like_loop(mesh, name="face_sweep"):
+    """A second loop over the same mesh arrays with different structure
+    (the paper's Figure 4 'Loop over faces involving x, y')."""
+    x1 = ArrayRef("x", "end_pt1")
+    return ForallLoop(
+        name,
+        mesh.n_edges,
+        [Reduce("max", ArrayRef("y", "end_pt2"), lambda a: np.abs(a), (x1,), flops=3)],
+    )
+
+
+@pytest.fixture
+def setup():
+    mesh = generate_mesh(300, seed=13)
+    m = Machine(4)
+    prog = setup_euler_program(m, mesh, seed=13)
+    return mesh, m, prog
+
+
+class TestIndependentRecords:
+    def test_each_loop_inspected_once(self, setup):
+        mesh, m, prog = setup
+        edge = euler_edge_loop(mesh)
+        face = face_like_loop(mesh)
+        for _ in range(3):
+            prog.forall(edge)
+            prog.forall(face)
+        assert prog.inspector_runs == 2
+        assert prog.reuse_hits == 4
+
+    def test_alternating_loops_stay_correct(self, setup):
+        mesh, m, prog = setup
+        x = prog.arrays["x"].to_global()
+        edge = euler_edge_loop(mesh)
+        face = face_like_loop(mesh)
+        for _ in range(2):
+            prog.forall(edge)
+            prog.forall(face)
+        from repro.workloads.euler import euler_sequential_reference
+
+        want = np.zeros(mesh.n_nodes)
+        for _ in range(2):
+            want = euler_sequential_reference(x, mesh.edges, n_times=1, y0=want)
+            np.maximum.at(want, mesh.edges[1], np.abs(x[mesh.edges[0]]))
+        assert np.allclose(prog.arrays["y"].to_global(), want)
+
+    def test_translation_tables_shared_across_loops(self, setup):
+        """Loops over the same arrays share cached translation tables."""
+        mesh, m, prog = setup
+        prog.forall(euler_edge_loop(mesh))
+        n_tables = len(prog.ttables)
+        prog.forall(face_like_loop(mesh))
+        # face loop references a subset of the same arrays/distributions
+        assert len(prog.ttables) == n_tables
+
+    def test_remap_invalidates_every_loop(self, setup):
+        mesh, m, prog = setup
+        edge = euler_edge_loop(mesh)
+        face = face_like_loop(mesh)
+        prog.forall(edge)
+        prog.forall(face)
+        prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
+        prog.set_distribution("fmt", "G", "RCB")
+        prog.redistribute("reg", "fmt")
+        prog.forall(edge)
+        prog.forall(face)
+        assert prog.inspector_runs == 4  # both re-inspected after remap
+
+    def test_indirection_write_invalidates_only_users(self, setup):
+        """A loop that does not use the modified indirection array keeps
+        its schedule."""
+        mesh, m, prog = setup
+        edge = euler_edge_loop(mesh)  # uses end_pt1, end_pt2
+        direct = ForallLoop(
+            "direct",
+            mesh.n_nodes,
+            [Assign(ArrayRef("y"), lambda a: 2 * a, (ArrayRef("x"),))],
+        )
+        prog.forall(edge)
+        prog.forall(direct)
+        rng = np.random.default_rng(2)
+        prog.set_array("end_pt1", rng.integers(0, mesh.n_nodes, mesh.n_edges))
+        prog.forall(edge)  # must re-inspect
+        prog.forall(direct)  # no indirection arrays -> reusable
+        assert prog.inspector_runs == 3

@@ -1,0 +1,127 @@
+"""Semantic analysis tests: the paper's loop restrictions enforced."""
+
+import pytest
+
+from repro.lang import AnalysisError, analyze, parse
+
+
+PREAMBLE = """
+REAL*8 x(n), y(n)
+INTEGER ia(n), ib(n)
+DECOMPOSITION reg(n)
+DISTRIBUTE reg(BLOCK)
+ALIGN x, y, ia, ib WITH reg
+"""
+
+
+def check(body, preamble=PREAMBLE):
+    return analyze(parse(preamble + body))
+
+
+class TestSymbolTables:
+    def test_tables_populated(self):
+        info = check("")
+        assert set(info.arrays) == {"X", "Y", "IA", "IB"}
+        assert info.arrays["X"].decomp == "REG"
+        assert info.distributed == {"REG": "BLOCK"}
+
+    def test_forall_collected(self):
+        info = check("FORALL i = 1, n\n y(ia(i)) = x(ib(i))\nEND FORALL")
+        assert len(info.foralls) == 1
+
+    def test_geocol_and_distfmt_tracked(self):
+        src = (
+            "DYNAMIC, DECOMPOSITION dreg(n)\nDISTRIBUTE dreg(BLOCK)\n"
+            "REAL*8 w(n)\nALIGN w WITH dreg\n"
+            "C$ CONSTRUCT G (n, LOAD(w))\n"
+            "C$ SET fmt BY PARTITIONING G USING LOAD\n"
+            "C$ REDISTRIBUTE dreg(fmt)\n"
+        )
+        info = check(src)
+        assert "G" in info.geocols and "FMT" in info.distfmts
+
+
+class TestDeclarationErrors:
+    def test_duplicate_array(self):
+        with pytest.raises(AnalysisError, match="declared twice"):
+            check("REAL*8 x(n)")
+
+    def test_align_unknown_array(self):
+        with pytest.raises(AnalysisError, match="undeclared array"):
+            check("ALIGN z WITH reg")
+
+    def test_align_unknown_decomp(self):
+        with pytest.raises(AnalysisError, match="undeclared decomposition"):
+            check("ALIGN x WITH other")
+
+    def test_distribute_unknown_decomp(self):
+        with pytest.raises(AnalysisError, match="undeclared decomposition"):
+            check("DISTRIBUTE other(BLOCK)")
+
+    def test_bad_format(self):
+        with pytest.raises(AnalysisError, match="unsupported distribution"):
+            check("DECOMPOSITION d2(n)\nDISTRIBUTE d2(DIAGONAL)")
+
+
+class TestForallRestrictions:
+    def test_undeclared_array_in_loop(self):
+        with pytest.raises(AnalysisError, match="undeclared array"):
+            check("FORALL i = 1, n\n z(ia(i)) = x(i)\nEND FORALL")
+
+    def test_two_level_indirection_rejected(self):
+        with pytest.raises(AnalysisError, match="single-level"):
+            check("FORALL i = 1, n\n y(ia(ib(i))) = x(i)\nEND FORALL")
+
+    def test_non_loop_subscript_rejected(self):
+        with pytest.raises(AnalysisError, match="not the loop index"):
+            check("FORALL i = 1, n\n y(j) = x(i)\nEND FORALL")
+
+    def test_non_integer_indirection_rejected(self):
+        with pytest.raises(AnalysisError, match="must be INTEGER"):
+            check("FORALL i = 1, n\n y(x(i)) = x(i)\nEND FORALL")
+
+    def test_self_indexing_rejected(self):
+        with pytest.raises(AnalysisError, match="cannot index itself"):
+            check("FORALL i = 1, n\n ia(ia(i)) = ib(i)\nEND FORALL")
+
+    def test_bare_loop_var_rejected(self):
+        with pytest.raises(AnalysisError, match="bare loop index"):
+            check("FORALL i = 1, n\n y(ia(i)) = x(ia(i)) + i\nEND FORALL")
+
+    def test_unaligned_array_rejected(self):
+        src = "REAL*8 u(n)\nFORALL i = 1, n\n y(ia(i)) = u(ia(i))\nEND FORALL"
+        with pytest.raises(AnalysisError, match="not ALIGNed"):
+            check(src)
+
+    def test_scalar_reference_allowed(self):
+        info = check("FORALL i = 1, n\n y(ia(i)) = x(ib(i)) * alpha\nEND FORALL")
+        assert len(info.foralls) == 1
+
+
+class TestConstructErrors:
+    def test_construct_empty(self):
+        # parser-level: CONSTRUCT with no clause
+        with pytest.raises(AnalysisError, match="no .*clause"):
+            check("C$ CONSTRUCT G (n)")
+
+    def test_construct_unaligned(self):
+        with pytest.raises(AnalysisError, match="not ALIGNed"):
+            check("REAL*8 q(n)\nC$ CONSTRUCT G (n, GEOMETRY(1, q))")
+
+    def test_set_unknown_geocol(self):
+        with pytest.raises(AnalysisError, match="unknown GeoCoL"):
+            check("C$ SET fmt BY PARTITIONING H USING RCB")
+
+    def test_redistribute_requires_set(self):
+        with pytest.raises(AnalysisError, match="no SET produced"):
+            check("C$ REDISTRIBUTE reg(fmt)")
+
+    def test_redistribute_requires_dynamic(self):
+        src = (
+            "REAL*8 w(n)\nALIGN w WITH reg\n"
+            "C$ CONSTRUCT G (n, LOAD(w))\n"
+            "C$ SET fmt BY PARTITIONING G USING LOAD\n"
+            "C$ REDISTRIBUTE reg(fmt)\n"
+        )
+        with pytest.raises(AnalysisError, match="not DYNAMIC"):
+            check(src)

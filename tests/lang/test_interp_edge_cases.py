@@ -1,0 +1,227 @@
+"""Interpreter edge cases: scalars, CYCLIC, LOAD clauses, hand path."""
+
+import numpy as np
+import pytest
+
+from repro.lang import run_program
+from repro.machine import Machine
+
+
+class TestScalars:
+    def test_scalar_binding_in_expression(self):
+        src = """
+        REAL*8 x(n), y(n)
+        INTEGER ia(n)
+        DECOMPOSITION reg(n)
+        DISTRIBUTE reg(BLOCK)
+        ALIGN x, y, ia WITH reg
+        FORALL i = 1, n
+          y(ia(i)) = alpha * x(ia(i))
+        END FORALL
+        """
+        n = 8
+        cp = run_program(
+            src,
+            Machine(2),
+            sizes={"N": n},
+            data={"X": np.arange(float(n)), "IA": np.arange(n)},
+            scalars={"ALPHA": 3.0},
+        )
+        assert np.allclose(cp.array_global("Y"), 3.0 * np.arange(n))
+
+    def test_scalar_in_loop_bound(self):
+        src = """
+        REAL*8 x(n), y(n)
+        INTEGER ia(half)
+        DECOMPOSITION reg(n), reg2(half)
+        DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+        ALIGN x, y WITH reg
+        ALIGN ia WITH reg2
+        FORALL i = 1, half
+          REDUCE (ADD, y(ia(i)), x(ia(i)))
+        END FORALL
+        """
+        cp = run_program(
+            src,
+            Machine(2),
+            sizes={"N": 8, "HALF": 4},
+            data={"X": np.ones(8), "IA": np.array([0, 1, 2, 3])},
+        )
+        assert cp.array_global("Y").sum() == pytest.approx(4.0)
+
+
+class TestDistributions:
+    def test_cyclic_distribute(self):
+        src = """
+        REAL*8 x(n), y(n)
+        INTEGER ia(n)
+        DECOMPOSITION reg(n)
+        DISTRIBUTE reg(CYCLIC)
+        ALIGN x, y, ia WITH reg
+        FORALL i = 1, n
+          y(ia(i)) = x(ia(i)) + 1.0
+        END FORALL
+        """
+        n = 10
+        cp = run_program(
+            src,
+            Machine(2),
+            sizes={"N": n},
+            data={"X": np.arange(float(n)), "IA": np.arange(n)},
+        )
+        assert cp.program.arrays["X"].distribution.kind == "cyclic"
+        assert np.allclose(cp.array_global("Y"), np.arange(n) + 1)
+
+
+class TestConstructClauses:
+    def test_load_clause_through_lang(self):
+        src = """
+        REAL*8 x(n), y(n), w(n)
+        INTEGER ia(n)
+        DYNAMIC, DECOMPOSITION reg(n)
+        DISTRIBUTE reg(BLOCK)
+        ALIGN x, y, w, ia WITH reg
+        C$ CONSTRUCT G (n, LOAD(w))
+        C$ SET fmt BY PARTITIONING G USING LOAD
+        C$ REDISTRIBUTE reg(fmt)
+        FORALL i = 1, n
+          REDUCE (ADD, y(ia(i)), x(ia(i)))
+        END FORALL
+        """
+        n = 12
+        rng = np.random.default_rng(0)
+        w = rng.uniform(1, 10, n)
+        ia = rng.integers(0, n, n)
+        x = rng.normal(size=n)
+        cp = run_program(
+            src,
+            Machine(4),
+            sizes={"N": n},
+            data={"X": x, "W": w, "IA": ia},
+        )
+        want = np.zeros(n)
+        np.add.at(want, ia, x[ia])
+        assert np.allclose(cp.array_global("Y"), want)
+        assert cp.program.arrays["X"].distribution.kind == "irregular"
+
+    def test_geometry_and_load_combined(self):
+        src = """
+        REAL*8 x(n), y(n), xc(n), w(n)
+        INTEGER ia(n)
+        DYNAMIC, DECOMPOSITION reg(n)
+        DISTRIBUTE reg(BLOCK)
+        ALIGN x, y, xc, w, ia WITH reg
+        C$ CONSTRUCT G (n, GEOMETRY(1, xc), LOAD(w))
+        C$ SET fmt BY PARTITIONING G USING RCB
+        C$ REDISTRIBUTE reg(fmt)
+        FORALL i = 1, n
+          y(i) = x(ia(i))
+        END FORALL
+        """
+        n = 16
+        rng = np.random.default_rng(1)
+        cp = run_program(
+            src,
+            Machine(4),
+            sizes={"N": n},
+            data={
+                "X": rng.normal(size=n),
+                "XC": rng.normal(size=n),
+                "W": np.ones(n),
+                "IA": rng.integers(0, n, n),
+            },
+        )
+        g = cp.program.geocols["G"]
+        assert g.geometry is not None and g.load is not None
+
+
+class TestProgramOptions:
+    def test_hand_path_through_lang(self):
+        """track=False flows through run_program's program kwargs."""
+        src = """
+        REAL*8 x(n), y(n)
+        INTEGER ia(n)
+        DECOMPOSITION reg(n)
+        DISTRIBUTE reg(BLOCK)
+        ALIGN x, y, ia WITH reg
+        DO t = 1, 3
+          FORALL i = 1, n
+            REDUCE (ADD, y(ia(i)), x(ia(i)))
+          END FORALL
+        END DO
+        """
+        cp = run_program(
+            src,
+            Machine(2),
+            sizes={"N": 6},
+            data={"X": np.ones(6), "IA": np.arange(6)},
+            track=False,
+        )
+        assert cp.program.registry.nmod == 0  # nothing tracked
+        assert np.allclose(cp.array_global("Y"), 3.0)
+
+    def test_coalescing_through_lang(self):
+        src = """
+        REAL*8 x(n), y(n)
+        INTEGER e1(m), e2(m)
+        DECOMPOSITION reg(n), reg2(m)
+        DISTRIBUTE reg(BLOCK), reg2(BLOCK)
+        ALIGN x, y WITH reg
+        ALIGN e1, e2 WITH reg2
+        FORALL i = 1, m
+          REDUCE (ADD, y(e1(i)), x(e1(i)) * x(e2(i)))
+          REDUCE (ADD, y(e2(i)), x(e1(i)) + x(e2(i)))
+        END FORALL
+        """
+        rng = np.random.default_rng(2)
+        n, m_edges = 12, 30
+        data = {
+            "X": rng.normal(size=n),
+            "E1": rng.integers(0, n, m_edges),
+            "E2": rng.integers(0, n, m_edges),
+        }
+        outs = {}
+        for co in (False, True):
+            cp = run_program(
+                src,
+                Machine(4),
+                sizes={"N": n, "M": m_edges},
+                data=data,
+                coalesce_patterns=co,
+            )
+            outs[co] = cp.array_global("Y")
+        assert np.allclose(outs[False], outs[True])
+
+
+class TestMultipleStatementsInDo:
+    def test_do_with_two_foralls(self):
+        src = """
+        REAL*8 x(n), y(n), z(n)
+        INTEGER ia(n)
+        DECOMPOSITION reg(n)
+        DISTRIBUTE reg(BLOCK)
+        ALIGN x, y, z, ia WITH reg
+        DO t = 1, 2
+          FORALL i = 1, n
+            REDUCE (ADD, y(ia(i)), x(ia(i)))
+          END FORALL
+          FORALL i = 1, n
+            REDUCE (ADD, z(i), x(i))
+          END FORALL
+        END DO
+        """
+        n = 8
+        cp = run_program(
+            src,
+            Machine(2),
+            sizes={"N": n},
+            data={"X": np.ones(n), "IA": np.arange(n)},
+        )
+        assert np.allclose(cp.array_global("Y"), 2.0)
+        assert np.allclose(cp.array_global("Z"), 2.0)
+        # Conservatism on display: y and z share ia's DAD (every array
+        # here is block(8,2)), so the sweeps' own writes invalidate the
+        # first loop's record each trip -- it re-inspects on trip 2.
+        # The second loop has no indirection arrays, so it reuses.
+        assert cp.program.inspector_runs == 3
+        assert cp.program.reuse_hits == 1

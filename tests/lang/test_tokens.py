@@ -1,0 +1,71 @@
+"""Tokenizer tests."""
+
+import pytest
+
+from repro.lang import TokenKind, tokenize
+
+
+def kinds(src):
+    return [t.kind for t in tokenize(src) if t.kind != TokenKind.EOF]
+
+
+def texts(src):
+    return [t.text for t in tokenize(src)][:-1]
+
+
+class TestBasics:
+    def test_identifiers_uppercased(self):
+        toks = tokenize("distribute reg(block)")
+        assert toks[0].text == "DISTRIBUTE"
+        assert toks[1].text == "REG"
+
+    def test_numbers(self):
+        toks = tokenize("x = 3.5")
+        assert toks[2].kind == TokenKind.NUMBER
+        assert toks[2].text == "3.5"
+
+    def test_fortran_double_exponent(self):
+        toks = tokenize("1.5d0")
+        assert toks[0].kind == TokenKind.NUMBER
+
+    def test_real8_is_one_token(self):
+        toks = tokenize("REAL*8 x(n)")
+        assert toks[0].text == "REAL*8"
+
+    def test_power_operator(self):
+        assert "**" in texts("x ** 2")
+
+    def test_newline_separates_statements(self):
+        toks = tokenize("a = 1\nb = 2")
+        newlines = [t for t in toks if t.kind == TokenKind.NEWLINE]
+        assert len(newlines) == 2
+
+    def test_line_numbers(self):
+        toks = tokenize("a = 1\n\nb = 2")
+        b = [t for t in toks if t.text == "B"][0]
+        assert b.line == 3
+
+
+class TestCommentsAndDirectives:
+    def test_bang_comment_skipped(self):
+        assert kinds("! a comment line\nx = 1") == kinds("x = 1")
+
+    def test_fixed_form_c_comment_skipped(self):
+        assert kinds("C this is a comment\nx = 1") == kinds("x = 1")
+
+    def test_directive_prefix_stripped(self):
+        toks = tokenize("C$ CONSTRUCT G (n)")
+        assert toks[0].text == "CONSTRUCT"
+
+    def test_bang_dollar_directive(self):
+        toks = tokenize("!$ REDISTRIBUTE reg(fmt)")
+        assert toks[0].text == "REDISTRIBUTE"
+
+    def test_blank_lines_skipped(self):
+        assert kinds("\n\n  \nx = 1\n\n") == kinds("x = 1")
+
+
+class TestErrors:
+    def test_unknown_character(self):
+        with pytest.raises(ValueError, match="unrecognized character"):
+            tokenize("x = @")

@@ -1,0 +1,127 @@
+"""Tests for interconnect topologies."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.machine.topology import (
+    FullyConnectedTopology,
+    HypercubeTopology,
+    MeshTopology,
+    RingTopology,
+    make_topology,
+)
+
+
+class TestHypercube:
+    def test_requires_power_of_two(self):
+        with pytest.raises(ValueError, match="power-of-two"):
+            HypercubeTopology(6)
+
+    def test_dim(self):
+        assert HypercubeTopology(1).dim == 0
+        assert HypercubeTopology(2).dim == 1
+        assert HypercubeTopology(32).dim == 5
+
+    def test_hops_is_hamming_distance(self):
+        t = HypercubeTopology(16)
+        assert t.hops(0, 0) == 0
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 15) == 4
+        assert t.hops(0b1010, 0b0101) == 4
+
+    def test_symmetry(self):
+        t = HypercubeTopology(8)
+        for a in range(8):
+            for b in range(8):
+                assert t.hops(a, b) == t.hops(b, a)
+
+    def test_diameter(self):
+        assert HypercubeTopology(64).diameter() == 6
+
+    def test_neighbors(self):
+        t = HypercubeTopology(8)
+        assert sorted(t.neighbors(0)) == [1, 2, 4]
+        assert sorted(t.neighbors(5)) == [1, 4, 7]
+
+    def test_neighbors_are_one_hop(self):
+        t = HypercubeTopology(16)
+        for p in range(16):
+            for q in t.neighbors(p):
+                assert t.hops(p, q) == 1
+
+    def test_out_of_range(self):
+        t = HypercubeTopology(4)
+        with pytest.raises(ValueError, match="out of range"):
+            t.hops(0, 4)
+        with pytest.raises(ValueError, match="out of range"):
+            t.hops(-1, 0)
+
+
+class TestRing:
+    def test_hops_takes_shorter_way(self):
+        t = RingTopology(8)
+        assert t.hops(0, 1) == 1
+        assert t.hops(0, 7) == 1
+        assert t.hops(0, 4) == 4
+        assert t.hops(1, 6) == 3
+
+    def test_diameter(self):
+        assert RingTopology(8).diameter() == 4
+        assert RingTopology(7).diameter() == 3
+
+
+class TestFullyConnected:
+    def test_all_one_hop(self):
+        t = FullyConnectedTopology(5)
+        assert t.hops(2, 2) == 0
+        assert t.hops(0, 4) == 1
+        assert t.diameter() == 1
+
+    def test_single_proc_diameter(self):
+        assert FullyConnectedTopology(1).diameter() == 0
+
+
+class TestMesh:
+    def test_factorization(self):
+        t = MeshTopology(12)
+        assert t.rows * t.cols == 12
+        assert t.rows == 3 and t.cols == 4
+
+    def test_manhattan(self):
+        t = MeshTopology(16)  # 4x4
+        assert t.hops(0, 5) == 2  # (0,0)->(1,1)
+        assert t.hops(0, 15) == 6
+
+    def test_prime_count_degrades_to_row(self):
+        t = MeshTopology(7)
+        assert t.rows == 1 and t.cols == 7
+        assert t.diameter() == 6
+
+
+class TestFactory:
+    @pytest.mark.parametrize("name", ["hypercube", "ring", "full", "mesh"])
+    def test_known(self, name):
+        t = make_topology(name, 4)
+        assert t.n_procs == 4
+
+    def test_unknown(self):
+        with pytest.raises(ValueError, match="unknown topology"):
+            make_topology("torus", 4)
+
+    def test_zero_procs(self):
+        with pytest.raises(ValueError, match="at least one"):
+            make_topology("ring", 0)
+
+
+@given(
+    dim=st.integers(min_value=0, max_value=6),
+    data=st.data(),
+)
+def test_hypercube_triangle_inequality(dim, data):
+    n = 2**dim
+    t = HypercubeTopology(n)
+    a = data.draw(st.integers(0, n - 1))
+    b = data.draw(st.integers(0, n - 1))
+    c = data.draw(st.integers(0, n - 1))
+    assert t.hops(a, c) <= t.hops(a, b) + t.hops(b, c)
+    assert (t.hops(a, b) == 0) == (a == b)

@@ -1,0 +1,90 @@
+"""Tests for the Morton space-filling-curve partitioner."""
+
+import numpy as np
+import pytest
+
+from repro.partitioners import (
+    PartitionProblem,
+    edge_cut,
+    get_partitioner,
+    load_imbalance,
+    morton_keys,
+)
+from tests.partitioners.test_partitioners import grid_problem
+
+
+class TestMortonKeys:
+    def test_orders_nearby_points_together(self):
+        # four quadrant corners: z-order visits them in quadrant order
+        coords = np.array([[0.0, 1.0, 0.0, 1.0], [0.0, 0.0, 1.0, 1.0]])
+        keys = morton_keys(coords)
+        assert keys[0] == keys.min()
+        assert keys[3] == keys.max()
+
+    def test_identical_points_identical_keys(self):
+        coords = np.ones((3, 5))
+        keys = morton_keys(coords)
+        assert len(set(keys.tolist())) == 1
+
+    def test_keys_deterministic(self):
+        rng = np.random.default_rng(0)
+        coords = rng.normal(size=(3, 50))
+        assert np.array_equal(morton_keys(coords), morton_keys(coords))
+
+
+class TestSFCPartitioner:
+    def test_valid_balanced_partition(self):
+        prob = grid_problem(12, 12)
+        res = get_partitioner("SFC").partition(prob, 4)
+        assert set(np.unique(res.owner_map)) == {0, 1, 2, 3}
+        assert load_imbalance(res.owner_map, 4) <= 1.1
+
+    def test_beats_random_on_cut(self):
+        prob = grid_problem(16, 16, shuffle_seed=3)
+        sfc = get_partitioner("SFC").partition(prob, 8)
+        rnd = get_partitioner("RANDOM", seed=0).partition(prob, 8)
+        assert edge_cut(prob.edges, sfc.owner_map) < 0.6 * edge_cut(
+            prob.edges, rnd.owner_map
+        )
+
+    def test_between_block_and_rcb_in_quality(self):
+        """SFC should be within shouting distance of RCB and far better
+        than BLOCK on the shuffled grid."""
+        prob = grid_problem(16, 16, shuffle_seed=3)
+        cuts = {
+            name: edge_cut(
+                prob.edges, get_partitioner(name).partition(prob, 8).owner_map
+            )
+            for name in ("BLOCK", "SFC", "RCB")
+        }
+        assert cuts["SFC"] < cuts["BLOCK"] / 2
+        assert cuts["SFC"] <= 2.0 * cuts["RCB"]
+
+    def test_cheaper_than_rcb(self):
+        prob = grid_problem(16, 16)
+        sfc = get_partitioner("SFC").partition(prob, 8)
+        rcb = get_partitioner("RCB").partition(prob, 8)
+        assert sfc.sync_rounds < rcb.sync_rounds
+
+    def test_weighted_balance(self):
+        prob = grid_problem(10, 10)
+        w = np.ones(100)
+        w[:10] = 20.0
+        prob = PartitionProblem(100, edges=prob.edges, coords=prob.coords, weights=w)
+        res = get_partitioner("SFC").partition(prob, 4)
+        assert load_imbalance(res.owner_map, 4, weights=w) <= 1.5
+
+    def test_needs_geometry(self):
+        with pytest.raises(ValueError, match="GEOMETRY"):
+            get_partitioner("SFC").partition(PartitionProblem(10), 2)
+
+    def test_single_part(self):
+        prob = grid_problem(4, 4)
+        res = get_partitioner("SFC").partition(prob, 1)
+        assert np.all(res.owner_map == 0)
+
+    def test_empty_problem(self):
+        res = get_partitioner("SFC").partition(
+            PartitionProblem(0, coords=np.zeros((2, 0))), 3
+        )
+        assert res.owner_map.size == 0
