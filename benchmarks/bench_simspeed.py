@@ -1,0 +1,102 @@
+"""Simulator self-performance: wall seconds for the Euler edge sweep.
+
+Unlike every other bench (which reports *simulated* machine time), this
+one tracks how fast the *simulator itself* runs -- the metric the
+flattened-schedule / array-exchange vectorization optimizes.  It runs
+the P=64/128/256 Euler no-reuse scenario (50k nodes, 20 executor
+iterations, RCB) and writes ``benchmarks/out/BENCH_simspeed.json`` so
+future PRs can track the simulator's own performance trajectory.
+
+Reference points on the original per-pair implementation vs the
+flattened one (same host, 2026-07): P=256 took ~44.3s before
+vectorization and ~6.8s after (~6.5x).
+
+Run standalone (``python benchmarks/bench_simspeed.py``) or under
+pytest (``pytest benchmarks/bench_simspeed.py``).
+"""
+
+import json
+import os
+import sys
+import time
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+MESH_CACHE_DIR = os.path.join(OUT_DIR, "mesh_cache")
+JSON_PATH = os.path.join(OUT_DIR, "BENCH_simspeed.json")
+
+N_NODES = 50000
+ITERATIONS = 20
+PROC_COUNTS = [64, 128, 256]
+
+
+def run_simspeed(proc_counts=PROC_COUNTS, n_nodes=N_NODES, iterations=ITERATIONS):
+    """Time one run per processor count; returns the result record."""
+    from repro.bench.harness import run_euler_experiment
+    from repro.workloads.mesh import generate_mesh
+
+    t0 = time.perf_counter()
+    mesh = generate_mesh(n_nodes, seed=0, cache_dir=MESH_CACHE_DIR)
+    mesh_seconds = time.perf_counter() - t0
+
+    scenarios = []
+    for n_procs in proc_counts:
+        t0 = time.perf_counter()
+        res = run_euler_experiment(
+            mesh,
+            n_procs=n_procs,
+            partitioner="RCB",
+            path="compiler",
+            reuse=False,
+            iterations=iterations,
+            seed=0,
+        )
+        wall = time.perf_counter() - t0
+        scenarios.append(
+            {
+                "n_procs": n_procs,
+                "wall_seconds": round(wall, 3),
+                "simulated_total": res.total,
+                "simulated_phases": {k: v for k, v in res.phases.items()},
+                "messages": res.meta["messages"],
+                "bytes": res.meta["bytes"],
+            }
+        )
+    return {
+        "scenario": "euler_edge_sweep_no_reuse",
+        "n_nodes": n_nodes,
+        "iterations": iterations,
+        "partitioner": "RCB",
+        "mesh_seconds": round(mesh_seconds, 3),
+        "runs": scenarios,
+    }
+
+
+def write_report(record):
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(JSON_PATH, "w") as fh:
+        json.dump(record, fh, indent=2)
+    return JSON_PATH
+
+
+def test_simspeed():
+    record = run_simspeed()
+    path = write_report(record)
+    print(f"\n[simspeed written to {path}]")
+    for run in record["runs"]:
+        print(
+            f"  P={run['n_procs']:>4}  wall={run['wall_seconds']:>7.3f}s  "
+            f"simulated={run['simulated_total']:.3f}s"
+        )
+    # very loose hang guard only -- wall time on shared CI runners is too
+    # noisy to gate tightly; regressions are tracked via the JSON artifact
+    worst = max(run["wall_seconds"] for run in record["runs"])
+    assert worst < 300.0, f"simulator pathologically slow: {worst}s for one scenario"
+
+
+if __name__ == "__main__":
+    record = run_simspeed(
+        proc_counts=[int(a) for a in sys.argv[1:]] or PROC_COUNTS
+    )
+    path = write_report(record)
+    print(json.dumps(record, indent=2))
+    print(f"[written to {path}]")

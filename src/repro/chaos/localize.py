@@ -86,77 +86,109 @@ def localize(
     if len(ref_lists) != n:
         raise ValueError(f"expected {n} reference lists, got {len(ref_lists)}")
     dist = ttable.dist
-    translations = ttable.dereference_all(
-        [np.asarray(r, dtype=np.int64) for r in ref_lists]
-    )
+    ref_arrays = [np.asarray(r, dtype=np.int64) for r in ref_lists]
+    translations = ttable.dereference_all(ref_arrays)
 
-    local_refs: list[np.ndarray] = []
-    ghost_globals: list[np.ndarray] = []
     local_sizes = [dist.local_size(p) for p in range(n)]
     send_lists: dict[tuple[int, int], np.ndarray] = {}
     recv_slots: dict[tuple[int, int], np.ndarray] = {}
-    ghost_sizes = [0] * n
     req_counts = np.zeros((n, n), dtype=np.int64)
 
-    for p in range(n):
-        refs = np.asarray(ref_lists[p], dtype=np.int64)
-        owners, lidx = translations[p]
-        if refs.size == 0:
-            local_refs.append(np.empty(0, dtype=np.int64))
-            ghost_globals.append(np.empty(0, dtype=np.int64))
-            continue
-        off = owners != p
-        n_off_refs = int(off.sum())
-        # dedup off-processor references; np.unique gives deterministic
-        # (sorted-global) ghost slot order, like PARTI's hashed order
-        uniq, inverse = np.unique(refs[off], return_inverse=True)
-        ghost_sizes[p] = uniq.size
-        ghost_globals.append(uniq)
+    # flatten every processor's reference list into one array and do the
+    # translate/dedup/slot-assignment work for all processors at once --
+    # per-processor results are recovered as (contiguous) segments
+    sizes = np.asarray([r.size for r in ref_arrays], dtype=np.int64)
+    total = int(sizes.sum())
+    flat_refs = (
+        np.concatenate(ref_arrays) if total else np.empty(0, dtype=np.int64)
+    )
+    flat_owner = (
+        np.concatenate([t[0] for t in translations])
+        if total
+        else np.empty(0, dtype=np.int64)
+    )
+    flat_lidx = (
+        np.concatenate([t[1] for t in translations])
+        if total
+        else np.empty(0, dtype=np.int64)
+    )
+    flat_pid = np.repeat(np.arange(n, dtype=np.int64), sizes)
 
-        localized = np.empty(refs.size, dtype=np.int64)
-        localized[~off] = lidx[~off]
-        localized[off] = local_sizes[p] + inverse
-        local_refs.append(localized)
+    off = flat_owner != flat_pid
+    n_off = np.bincount(flat_pid[off], minlength=n)
+    # dedup off-processor references per processor with one keyed unique;
+    # np.unique gives deterministic (sorted-global) ghost slot order per
+    # processor, like PARTI's hashed order.  Keys cannot collide across
+    # processors because every global index is < dist.size.
+    stride = max(dist.size, 1)
+    keys = flat_pid[off] * stride + flat_refs[off]
+    uniq_keys, inverse = np.unique(keys, return_inverse=True)
+    upid = uniq_keys // stride
+    ugidx = uniq_keys - upid * stride
+    ghost_counts = np.bincount(upid, minlength=n)
+    ghost_bounds = np.concatenate(([0], np.cumsum(ghost_counts)))
+    slots = np.arange(uniq_keys.size, dtype=np.int64) - ghost_bounds[upid]
+    ghost_sizes = [int(c) for c in ghost_counts]
+    ghost_globals = [
+        ugidx[ghost_bounds[p] : ghost_bounds[p + 1]] for p in range(n)
+    ]
 
-        # build schedule entries for each owner of a unique ghost element
-        uowners = np.asarray(dist.owner(uniq), dtype=np.int64)
-        ulidx = np.asarray(dist.local_index(uniq), dtype=np.int64)
-        slots = np.arange(uniq.size, dtype=np.int64)
-        for q in np.unique(uowners):
-            q = int(q)
-            sel = uowners == q
-            send_lists[(q, p)] = ulidx[sel]
-            recv_slots[(q, p)] = slots[sel]
-            req_counts[p, q] = int(sel.sum())
+    # rewrite every reference to a localized index: local offsets stay,
+    # off-processor references become local_size + ghost slot
+    localized_flat = np.empty(total, dtype=np.int64)
+    localized_flat[~off] = flat_lidx[~off]
+    local_sizes_arr = np.asarray(local_sizes, dtype=np.int64)
+    localized_flat[off] = local_sizes_arr[flat_pid[off]] + slots[inverse]
+    ref_bounds = np.concatenate(([0], np.cumsum(sizes)))
+    local_refs = [
+        localized_flat[ref_bounds[p] : ref_bounds[p + 1]] for p in range(n)
+    ]
 
-        # charge inspector integer work on p: one hash probe per reference,
-        # an insert per unique ghost, schedule build + buffer assignment
-        machine.charge_compute(
-            p,
-            iops=(
-                costs.hash_lookup * refs.size
-                + costs.hash_insert * uniq.size
-                + costs.schedule_build * uniq.size
-                + costs.buffer_assign * uniq.size
-                + costs.hash_lookup * n_off_refs  # localized-index rewrite probe
-            ),
-        )
+    # build schedule entries for each (owner q, requester p) pair: one
+    # stable sort groups the unique ghosts requester-major, owner-minor,
+    # ghost slots ascending within each owner (as per-owner masking did)
+    uowners = np.asarray(dist.owner(ugidx), dtype=np.int64) if ugidx.size else ugidx
+    ulidx = (
+        np.asarray(dist.local_index(ugidx), dtype=np.int64) if ugidx.size else ugidx
+    )
+    order = np.argsort(upid * n + uowners, kind="stable")
+    pair_keys = upid[order] * n + uowners[order]
+    seg_keys, seg_starts = np.unique(pair_keys, return_index=True)
+    seg_bounds = np.append(seg_starts, order.size)
+    sorted_lidx = ulidx[order]
+    sorted_slots = slots[order]
+    for i, key in enumerate(seg_keys):
+        p, q = divmod(int(key), n)
+        lo, hi = seg_bounds[i], seg_bounds[i + 1]
+        send_lists[(q, p)] = sorted_lidx[lo:hi]
+        recv_slots[(q, p)] = sorted_slots[lo:hi]
+        req_counts[p, q] = hi - lo
+
+    # charge inspector integer work per processor: one hash probe per
+    # reference, an insert per unique ghost, schedule build + buffer
+    # assignment, and a localized-index rewrite probe per off-proc ref
+    ghost_f = ghost_counts.astype(np.float64)
+    machine.charge_compute_all(
+        iops=(
+            costs.hash_lookup * sizes.astype(np.float64)
+            + costs.hash_insert * ghost_f
+            + costs.schedule_build * ghost_f
+            + costs.buffer_assign * ghost_f
+            + costs.hash_lookup * n_off.astype(np.float64)
+        ),
+    )
 
     # request exchange: each requester tells each owner which local
     # elements to send (index lists on the wire); owners then record
     # their send lists
+    off_diag = req_counts.copy()
+    np.fill_diagonal(off_diag, 0)
+    req_p, req_q = np.nonzero(off_diag)
     machine.exchange(
-        {
-            (p, q): int(req_counts[p, q]) * costs.index_bytes
-            for p in range(n)
-            for q in range(n)
-            if p != q and req_counts[p, q]
-        }
+        src=req_p, dst=req_q, nbytes=off_diag[req_p, req_q] * costs.index_bytes
     )
     owner_record = req_counts.sum(axis=0).astype(float)
-    machine.charge_compute_all(
-        iops=[costs.schedule_build * c for c in owner_record]
-    )
+    machine.charge_compute_all(iops=costs.schedule_build * owner_record)
     machine.barrier()
 
     schedule = CommSchedule(

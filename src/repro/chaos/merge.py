@@ -31,8 +31,33 @@ def _validate(items) -> Machine:
             raise ValueError("schedules live on different machines")
         sched._check_array(arr)
         bufs = ghosts.buffers if isinstance(ghosts, GhostBuffers) else ghosts
-        sched._check_ghosts(bufs, arr.itemsize)
+        sched._check_ghosts(bufs)
     return machine
+
+
+def _merged_exchange(
+    machine: Machine,
+    srcs: list[np.ndarray],
+    dsts: list[np.ndarray],
+    nbytes: list[np.ndarray],
+) -> None:
+    """One exchange with all schedules' wire payloads merged per pair.
+
+    Payloads for one (src, dst) pair sum into a single message; pairs
+    keep first-appearance order across the concatenated per-schedule
+    lists, which is the accumulation order the per-schedule dict fold
+    used (so merged clocks are unchanged)."""
+    src = np.concatenate(srcs) if srcs else np.empty(0, dtype=np.int64)
+    dst = np.concatenate(dsts) if dsts else np.empty(0, dtype=np.int64)
+    nb = np.concatenate(nbytes) if nbytes else np.empty(0, dtype=np.int64)
+    key = src * machine.n_procs + dst
+    uniq, first, inv = np.unique(key, return_index=True, return_inverse=True)
+    total = np.bincount(inv, weights=nb).astype(np.int64)
+    order = np.argsort(first, kind="stable")
+    pair = uniq[order]
+    machine.exchange(
+        src=pair // machine.n_procs, dst=pair % machine.n_procs, nbytes=total[order]
+    )
 
 
 def gather_merged(
@@ -49,19 +74,18 @@ def gather_merged(
     n = machine.n_procs
     pack = np.zeros(n)
     unpack = np.zeros(n)
-    wires: dict[tuple[int, int], int] = {}
+    srcs, dsts, nbytes = [], [], []
     for sched, arr, ghosts in items:
         bufs = ghosts.buffers if isinstance(ghosts, GhostBuffers) else ghosts
-        for (q, p), sl in sched.send_lists.items():
-            if not len(sl):
-                continue
-            bufs[p][sched.recv_slots[(q, p)]] = arr.local(q)[sl]
-            pack[q] += sched.costs.pack_unpack_mem * len(sl)
-            unpack[p] += sched.costs.pack_unpack_mem * len(sl)
-            wires[(q, p)] = wires.get((q, p), 0) + len(sl) * arr.itemsize
-    machine.charge_compute_all(mem=list(pack))
-    machine.exchange(wires)
-    machine.charge_compute_all(mem=list(unpack))
+        sched._move_gather(arr, bufs)
+        pack += sched._pack_mem
+        unpack += sched._unpack_mem
+        srcs.append(sched._pair_q)
+        dsts.append(sched._pair_p)
+        nbytes.append(sched._wire_bytes(arr.itemsize))
+    machine.charge_compute_all(mem=pack)
+    _merged_exchange(machine, srcs, dsts, nbytes)
+    machine.charge_compute_all(mem=unpack)
 
 
 def scatter_op_merged(
@@ -82,26 +106,25 @@ def scatter_op_merged(
     pack = np.zeros(n)
     unpack = np.zeros(n)
     combine = np.zeros(n)
-    wires: dict[tuple[int, int], int] = {}
+    srcs, dsts, nbytes = [], [], []
     for sched, bufs, arr, op in items:
         if sched.machine is not machine:
             raise ValueError("schedules live on different machines")
         sched._check_array(arr)
-        sched._check_ghosts(bufs, arr.itemsize)
+        sched._check_ghosts(bufs)
         if not hasattr(op, "at"):
             raise TypeError(f"op must be a NumPy ufunc with .at, got {op!r}")
-        for (q, p), sl in sched.send_lists.items():
-            if not len(sl):
-                continue
-            data = bufs[p][sched.recv_slots[(q, p)]]
-            op.at(arr.local(q), sl, data)
-            pack[p] += sched.costs.pack_unpack_mem * len(sl)
-            unpack[q] += sched.costs.pack_unpack_mem * len(sl)
-            combine[q] += len(sl)
-            wires[(p, q)] = wires.get((p, q), 0) + len(sl) * arr.itemsize
-    machine.charge_compute_all(mem=list(pack))
-    machine.exchange(wires)
-    machine.charge_compute_all(mem=list(unpack), flops=list(combine))
+        sched._move_reverse(bufs, arr, op)
+        # roles swap relative to gather: requesters pack, owners unpack
+        pack += sched._unpack_mem
+        unpack += sched._pack_mem
+        np.add.at(combine, sched._pair_q, sched._pair_len.astype(float))
+        srcs.append(sched._pair_p)
+        dsts.append(sched._pair_q)
+        nbytes.append(sched._wire_bytes(arr.itemsize))
+    machine.charge_compute_all(mem=pack)
+    _merged_exchange(machine, srcs, dsts, nbytes)
+    machine.charge_compute_all(mem=unpack, flops=combine)
 
 
 def merged_message_count(schedules: list[CommSchedule]) -> tuple[int, int]:

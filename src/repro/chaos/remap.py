@@ -57,17 +57,25 @@ class RemapSchedule:
         ]
         pack = np.zeros(n)
         unpack = np.zeros(n)
-        wires: dict[tuple[int, int], int] = {}
+        pair_p: list[int] = []
+        pair_q: list[int] = []
+        pair_bytes: list[int] = []
         for (p, q), (src_l, dst_l) in self.moves.items():
             if not len(src_l):
                 continue
             new_locals[q][dst_l] = arr.local(p)[src_l]
             pack[p] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
             unpack[q] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
-            wires[(p, q)] = len(src_l) * arr.itemsize
-        m.charge_compute_all(mem=list(pack))
-        m.exchange(wires)
-        m.charge_compute_all(mem=list(unpack))
+            pair_p.append(p)
+            pair_q.append(q)
+            pair_bytes.append(len(src_l) * arr.itemsize)
+        m.charge_compute_all(mem=pack)
+        m.exchange(
+            src=np.asarray(pair_p, dtype=np.int64),
+            dst=np.asarray(pair_q, dtype=np.int64),
+            nbytes=np.asarray(pair_bytes, dtype=np.int64),
+        )
+        m.charge_compute_all(mem=unpack)
         arr.rebind(self.new_dist, new_locals)
 
 
@@ -116,14 +124,14 @@ def build_remap_schedule(
     # move-list exchange (each element's (gidx, new offset) pair travels
     # to the new owner as schedule metadata)
     per_proc = counts.sum(axis=1).astype(float)
-    machine.charge_compute_all(iops=[costs.remap_build * c for c in per_proc])
+    machine.charge_compute_all(iops=costs.remap_build * per_proc)
+    off_diag = counts.copy()
+    np.fill_diagonal(off_diag, 0)
+    move_p, move_q = np.nonzero(off_diag)
     machine.exchange(
-        {
-            (p, q): int(counts[p, q]) * 2 * costs.index_bytes
-            for p in range(n)
-            for q in range(n)
-            if p != q and counts[p, q]
-        }
+        src=move_p,
+        dst=move_q,
+        nbytes=off_diag[move_p, move_q] * 2 * costs.index_bytes,
     )
     machine.barrier()
     return RemapSchedule(machine, old_dist.signature(), new_dist, moves)

@@ -14,6 +14,14 @@ and ``scatter``/``scatter_op`` pushes ghost-buffer contributions back to
 the owners afterwards (writes / reductions) -- PARTI's
 ``gather_exchange`` / ``scatter_op`` pair.
 
+Internally the per-pair lists are flattened once, at construction, into
+CSR-style arrays grouped by owner (pack side) and by requester (unpack
+side).  Applying the schedule then costs one fancy-index per *processor*
+and at most one ``ufunc.at`` per owner -- never a Python loop over
+message pairs.  Element order inside the flat arrays is pair insertion
+order, so duplicate-slot semantics (last writer wins) and floating-point
+accumulation order are identical to the historical per-pair loop.
+
 A schedule is *bound to a distribution signature*: applying it to an
 array whose distribution has changed since inspection is a hard error
 (this is exactly the staleness the paper's reuse check prevents, so the
@@ -48,24 +56,93 @@ class CommSchedule:
             raise ValueError(f"expected {n} ghost sizes, got {len(ghost_sizes)}")
         if set(send_lists) != set(recv_slots):
             raise ValueError("send_lists and recv_slots must cover the same pairs")
-        for (q, p), sl in send_lists.items():
-            if not (0 <= q < n and 0 <= p < n):
-                raise ValueError(f"processor pair ({q}, {p}) out of range")
-            rs = recv_slots[(q, p)]
-            if len(sl) != len(rs):
-                raise ValueError(
-                    f"pair ({q}, {p}): {len(sl)} sends but {len(rs)} recv slots"
-                )
-            if len(rs) and (rs.min() < 0 or rs.max() >= ghost_sizes[p]):
-                raise ValueError(
-                    f"pair ({q}, {p}): recv slot out of range [0, {ghost_sizes[p]})"
-                )
         self.machine = machine
         self.dist_signature = dist_signature
         self.send_lists = {k: np.asarray(v, dtype=np.int64) for k, v in send_lists.items()}
         self.recv_slots = {k: np.asarray(v, dtype=np.int64) for k, v in recv_slots.items()}
         self.ghost_sizes = [int(s) for s in ghost_sizes]
         self.costs = costs
+        self._build_flat()
+
+    def _build_flat(self) -> None:
+        """Flatten the pair dicts into CSR-style apply arrays.
+
+        Nonempty pairs keep their dict insertion order; per-element flat
+        order is pair order with each pair's elements contiguous.  The
+        pack side groups elements by owner ``q`` (stable, so each owner's
+        segment stays in pair order); the unpack side keeps per-requester
+        element positions in flat order.
+        """
+        n = self.machine.n_procs
+        ghost_sz = np.asarray(self.ghost_sizes, dtype=np.int64)
+        pairs = [
+            (q, p, sl, self.recv_slots[(q, p)])
+            for (q, p), sl in self.send_lists.items()
+        ]
+        pair_q = np.asarray([q for q, _, _, _ in pairs], dtype=np.int64)
+        pair_p = np.asarray([p for _, p, _, _ in pairs], dtype=np.int64)
+        pair_len = np.asarray([len(sl) for _, _, sl, _ in pairs], dtype=np.int64)
+        if pair_q.size and (
+            pair_q.min() < 0 or pair_q.max() >= n or pair_p.min() < 0 or pair_p.max() >= n
+        ):
+            for q, p, _, _ in pairs:
+                if not (0 <= q < n and 0 <= p < n):
+                    raise ValueError(f"processor pair ({q}, {p}) out of range")
+        for q, p, sl, rs in pairs:
+            if len(sl) != len(rs):
+                raise ValueError(
+                    f"pair ({q}, {p}): {len(sl)} sends but {len(rs)} recv slots"
+                )
+        live = pair_len > 0
+        #: per-message arrays in pair insertion order (nonempty pairs only)
+        self._pair_q = pair_q[live]
+        self._pair_p = pair_p[live]
+        self._pair_len = pair_len[live]
+        live_pairs = [pr for pr, keep in zip(pairs, live) if keep]
+
+        if live_pairs:
+            flat_send = np.concatenate([sl for _, _, sl, _ in live_pairs])
+            flat_recv = np.concatenate([rs for _, _, _, rs in live_pairs])
+        else:
+            flat_send = np.empty(0, dtype=np.int64)
+            flat_recv = np.empty(0, dtype=np.int64)
+        flat_q = np.repeat(self._pair_q, self._pair_len)
+        flat_p = np.repeat(self._pair_p, self._pair_len)
+        if flat_p.size:
+            bad = (flat_recv < 0) | (flat_recv >= ghost_sz[flat_p])
+            if bad.any():
+                i = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"pair ({int(flat_q[i])}, {int(flat_p[i])}): recv slot out of "
+                    f"range [0, {int(ghost_sz[flat_p[i]])})"
+                )
+
+        # pack side: wire order groups elements by owner q, stable within
+        wire_perm = np.argsort(flat_q, kind="stable")
+        self._pack_idx = flat_send[wire_perm]
+        owner_counts = np.bincount(flat_q, minlength=n) if flat_q.size else np.zeros(n, dtype=np.int64)
+        self._pack_offsets = np.concatenate(([0], np.cumsum(owner_counts)))
+        self._pack_owners = np.flatnonzero(owner_counts)
+
+        # unpack side: per requester p, ghost slots in flat (pair) order
+        # plus the wire positions holding their data
+        inv_perm = np.empty(wire_perm.size, dtype=np.int64)
+        inv_perm[wire_perm] = np.arange(wire_perm.size)
+        recv_order = np.argsort(flat_p, kind="stable")
+        self._unpack_dst = flat_recv[recv_order]
+        self._unpack_src = inv_perm[recv_order]
+        recv_counts = np.bincount(flat_p, minlength=n) if flat_p.size else np.zeros(n, dtype=np.int64)
+        self._unpack_offsets = np.concatenate(([0], np.cumsum(recv_counts)))
+        self._unpack_procs = np.flatnonzero(recv_counts)
+
+        # per-processor pack/unpack memory charges (pair-order accumulation,
+        # matching the historical per-pair loop bit for bit)
+        per_pair_mem = self.costs.pack_unpack_mem * self._pair_len
+        self._pack_mem = np.zeros(n)
+        self._unpack_mem = np.zeros(n)
+        np.add.at(self._pack_mem, self._pair_q, per_pair_mem)
+        np.add.at(self._unpack_mem, self._pair_p, per_pair_mem)
+        self._n_elements = int(self._pair_len.sum())
 
     # ------------------------------------------------------------------
     # introspection
@@ -76,13 +153,11 @@ class CommSchedule:
 
     def message_count(self) -> int:
         """Number of non-empty point-to-point messages per gather."""
-        return sum(
-            1 for (q, p), sl in self.send_lists.items() if len(sl) and q != p
-        )
+        return int((self._pair_q != self._pair_p).sum())
 
     def element_count(self) -> int:
         """Total off-processor elements moved per gather."""
-        return sum(len(sl) for (q, p), sl in self.send_lists.items() if q != p)
+        return int(self._pair_len[self._pair_q != self._pair_p].sum())
 
     def ghost_total(self) -> int:
         return sum(self.ghost_sizes)
@@ -97,7 +172,7 @@ class CommSchedule:
         if arr.machine is not self.machine:
             raise ValueError("schedule and array live on different machines")
 
-    def _check_ghosts(self, ghosts: list[np.ndarray], itemsize: int) -> None:
+    def _check_ghosts(self, ghosts: list[np.ndarray]) -> None:
         if len(ghosts) != self.n_procs:
             raise ValueError(
                 f"expected {self.n_procs} ghost buffers, got {len(ghosts)}"
@@ -108,6 +183,43 @@ class CommSchedule:
                     f"ghost buffer for processor {p} has shape {buf.shape}, "
                     f"schedule needs ({self.ghost_sizes[p]},)"
                 )
+
+    # ------------------------------------------------------------------
+    # flat data movement (shared with merged-communication paths)
+    # ------------------------------------------------------------------
+    def _move_gather(self, arr: DistArray, ghosts: list[np.ndarray]) -> None:
+        """Pack owners' elements onto the wire, unpack into ghost buffers."""
+        wire = np.empty(self._n_elements, dtype=arr.dtype)
+        off = self._pack_offsets
+        for q in self._pack_owners:
+            wire[off[q] : off[q + 1]] = arr.local(q)[self._pack_idx[off[q] : off[q + 1]]]
+        off = self._unpack_offsets
+        for p in self._unpack_procs:
+            seg = slice(off[p], off[p + 1])
+            ghosts[p][self._unpack_dst[seg]] = wire[self._unpack_src[seg]]
+
+    def _move_reverse(
+        self,
+        ghosts: list[np.ndarray],
+        arr: DistArray,
+        op: Callable | None,
+    ) -> None:
+        """Pack ghost contributions, store/combine at the owners."""
+        wire = np.empty(self._n_elements, dtype=arr.dtype)
+        off = self._unpack_offsets
+        for p in self._unpack_procs:
+            seg = slice(off[p], off[p + 1])
+            wire[self._unpack_src[seg]] = ghosts[p][self._unpack_dst[seg]]
+        off = self._pack_offsets
+        for q in self._pack_owners:
+            seg = slice(off[q], off[q + 1])
+            if op is None:
+                arr.local(q)[self._pack_idx[seg]] = wire[seg]
+            else:
+                op.at(arr.local(q), self._pack_idx[seg], wire[seg])
+
+    def _wire_bytes(self, itemsize: int) -> np.ndarray:
+        return self._pair_len * itemsize
 
     # ------------------------------------------------------------------
     # data movement
@@ -121,22 +233,14 @@ class CommSchedule:
         memory traffic and the message exchange.
         """
         self._check_array(arr)
-        self._check_ghosts(ghosts, arr.itemsize)
+        self._check_ghosts(ghosts)
         m = self.machine
-        pack = np.zeros(self.n_procs)
-        unpack = np.zeros(self.n_procs)
-        wires: dict[tuple[int, int], int] = {}
-        for (q, p), sl in self.send_lists.items():
-            if not len(sl):
-                continue
-            data = arr.local(q)[sl]
-            ghosts[p][self.recv_slots[(q, p)]] = data
-            pack[q] += self.costs.pack_unpack_mem * len(sl)
-            unpack[p] += self.costs.pack_unpack_mem * len(sl)
-            wires[(q, p)] = len(sl) * arr.itemsize
-        m.charge_compute_all(mem=list(pack))
-        m.exchange(wires)
-        m.charge_compute_all(mem=list(unpack))
+        self._move_gather(arr, ghosts)
+        m.charge_compute_all(mem=self._pack_mem)
+        m.exchange(
+            src=self._pair_q, dst=self._pair_p, nbytes=self._wire_bytes(arr.itemsize)
+        )
+        m.charge_compute_all(mem=self._unpack_mem)
 
     def scatter(self, ghosts: list[np.ndarray], arr: DistArray) -> None:
         """Reverse movement, overwrite semantics: ghost copies are sent
@@ -169,27 +273,21 @@ class CommSchedule:
         flops_per_element: float = 1.0,
     ) -> None:
         self._check_array(arr)
-        self._check_ghosts(ghosts, arr.itemsize)
+        self._check_ghosts(ghosts)
         m = self.machine
-        pack = np.zeros(self.n_procs)
-        unpack = np.zeros(self.n_procs)
-        combine = np.zeros(self.n_procs)
-        wires: dict[tuple[int, int], int] = {}
-        for (q, p), sl in self.send_lists.items():
-            if not len(sl):
-                continue
-            data = ghosts[p][self.recv_slots[(q, p)]]
-            if op is None:
-                arr.local(q)[sl] = data
-            else:
-                op.at(arr.local(q), sl, data)
-                combine[q] += flops_per_element * len(sl)
-            pack[p] += self.costs.pack_unpack_mem * len(sl)
-            unpack[q] += self.costs.pack_unpack_mem * len(sl)
-            wires[(p, q)] = len(sl) * arr.itemsize
-        m.charge_compute_all(mem=list(pack))
-        m.exchange(wires)
-        m.charge_compute_all(mem=list(unpack), flops=list(combine))
+        self._move_reverse(ghosts, arr, op)
+        if op is None:
+            combine = 0.0
+        else:
+            combine = np.zeros(self.n_procs)
+            np.add.at(combine, self._pair_q, flops_per_element * self._pair_len)
+        # roles swap relative to gather: the requester packs its ghost
+        # contributions, the owner unpacks (and combines)
+        m.charge_compute_all(mem=self._unpack_mem)
+        m.exchange(
+            src=self._pair_p, dst=self._pair_q, nbytes=self._wire_bytes(arr.itemsize)
+        )
+        m.charge_compute_all(mem=self._pack_mem, flops=combine)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

@@ -115,16 +115,14 @@ class DistributedTranslationTable(TranslationTable):
             page_owner = np.asarray(self.pages.owner(np.arange(dist.size)))
             data_owner = np.asarray(dist.owner(np.arange(dist.size)))
             np.add.at(counts, (data_owner, page_owner), 1)
+        off_diag = counts.copy()
+        np.fill_diagonal(off_diag, 0)
+        src, dst = np.nonzero(off_diag)
         machine.exchange(
-            {
-                (src, dst): int(counts[src, dst]) * 2 * self.costs.index_bytes
-                for src in range(n)
-                for dst in range(n)
-                if src != dst and counts[src, dst]
-            }
+            src=src, dst=dst, nbytes=off_diag[src, dst] * 2 * self.costs.index_bytes
         )
         fill = counts.sum(axis=0).astype(float)
-        machine.charge_compute_all(iops=[2.0 * c for c in fill])
+        machine.charge_compute_all(iops=2.0 * fill)
         machine.barrier()
 
     def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
@@ -133,9 +131,10 @@ class DistributedTranslationTable(TranslationTable):
         if g.size:
             page_owner = np.asarray(self.pages.owner(g), dtype=np.int64)
             m = self.machine
-            for q in np.unique(page_owner):
+            uniq_owners, owner_counts = np.unique(page_owner, return_counts=True)
+            for q, cnt in zip(uniq_owners, owner_counts):
                 q = int(q)
-                cnt = int((page_owner == q).sum())
+                cnt = int(cnt)
                 if q == p:
                     m.charge_compute(p, iops=self.costs.translate_replicated * cnt)
                     continue
@@ -167,24 +166,15 @@ class DistributedTranslationTable(TranslationTable):
                 po = np.asarray(self.pages.owner(g), dtype=np.int64)
                 np.add.at(req_counts[p], po, 1)
         # request exchange (indices), probe at owners, reply exchange (pairs)
-        m.exchange(
-            {
-                (p, q): int(req_counts[p, q]) * self.costs.index_bytes
-                for p in range(n)
-                for q in range(n)
-                if p != q and req_counts[p, q]
-            }
-        )
+        off_diag = req_counts.copy()
+        np.fill_diagonal(off_diag, 0)
+        req_p, req_q = np.nonzero(off_diag)
+        pair_counts = off_diag[req_p, req_q]
+        m.exchange(src=req_p, dst=req_q, nbytes=pair_counts * self.costs.index_bytes)
         probe = req_counts.sum(axis=0).astype(float)
-        machine_iops = [self.costs.translate_remote * c for c in probe]
-        m.charge_compute_all(iops=machine_iops)
+        m.charge_compute_all(iops=self.costs.translate_remote * probe)
         m.exchange(
-            {
-                (q, p): int(req_counts[p, q]) * 2 * self.costs.index_bytes
-                for p in range(n)
-                for q in range(n)
-                if p != q and req_counts[p, q]
-            }
+            src=req_q, dst=req_p, nbytes=pair_counts * 2 * self.costs.index_bytes
         )
         m.barrier()
         return results

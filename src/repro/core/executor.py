@@ -183,9 +183,7 @@ def _execute_once(
             flops[p] += s.flops * n_it
             mem[p] += 2.0 * n_it * (len(s.reads) + 1)
 
-    machine.charge_compute_all(
-        flops=list(flops * overhead), mem=list(mem * overhead)
-    )
+    machine.charge_compute_all(flops=flops * overhead, mem=mem * overhead)
 
     # 3. merge local staging + scatter ghost staging (once per group)
     merged_reduce_items = []
@@ -220,7 +218,7 @@ def _execute_once(
             )
         # merge cost: one flop per owned element combined
         machine.charge_compute_all(
-            flops=[float(pat.localized.local_sizes[p]) for p in range(n_procs)]
+            flops=np.asarray(pat.localized.local_sizes, dtype=np.float64)
         )
     if merged_reduce_items:
         scatter_op_merged(merged_reduce_items)

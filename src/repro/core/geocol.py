@@ -171,13 +171,13 @@ def _charge_generation(machine, n_vertices, coords, weights, edges) -> None:
         np.add.at(counts, (holder, dest), 1)
         for p in range(n_procs):
             eiops[p] = GEOCOL_EDGE_IOPS * float(counts[p].sum())
+        off_diag = counts.copy()
+        np.fill_diagonal(off_diag, 0)
+        ship_p, ship_q = np.nonzero(off_diag)
         machine.exchange(
-            {
-                (p, q): int(counts[p, q]) * GEOCOL_EDGE_BYTES
-                for p in range(n_procs)
-                for q in range(n_procs)
-                if p != q and counts[p, q]
-            }
+            src=ship_p,
+            dst=ship_q,
+            nbytes=off_diag[ship_p, ship_q] * GEOCOL_EDGE_BYTES,
         )
     machine.charge_compute_all(iops=[v + e for v, e in zip(viops, eiops)])
     machine.barrier()

@@ -69,6 +69,33 @@ def _ref_targets(
     return targets
 
 
+def _majority_owner(owners: np.ndarray) -> np.ndarray:
+    """Per-row majority vote over an (n, k) owner matrix, ties -> lowest id.
+
+    Equivalent to building the dense (n, n_procs) vote matrix and taking
+    a row-wise argmax, but O(n * k^2) with k = references per iteration
+    (a handful) instead of O(n * P) memory and scattered adds.  Rows are
+    sorted so equal owners are adjacent; each position's vote count is a
+    k x k comparison; the first position attaining the row maximum is the
+    lowest-numbered majority owner (argmax tie semantics).
+    """
+    n, k = owners.shape
+    if k == 1:
+        return owners[:, 0].copy()
+    if k == 2:
+        # both agree -> that owner; split vote -> argmax tie -> lowest id
+        return np.minimum(owners[:, 0], owners[:, 1])
+    srt = np.sort(owners, axis=1)
+    counts = np.ones((n, k), dtype=np.int64)
+    for j in range(k):
+        for l in range(j + 1, k):
+            eq = srt[:, l] == srt[:, j]
+            counts[:, j] += eq
+            counts[:, l] += eq
+    best = np.argmax(counts, axis=1)
+    return srt[np.arange(n), best]
+
+
 def partition_iterations(
     machine: Machine,
     loop: ForallLoop,
@@ -99,33 +126,37 @@ def partition_iterations(
         )
 
     targets = _ref_targets(loop, arrays, refs)
-    votes = np.zeros((n, n_procs), dtype=np.int32)
-    row = np.arange(n)
-    for ref, tgt in zip(refs, targets):
-        owner = np.asarray(arrays[ref.array].distribution.owner(tgt), dtype=np.int64)
-        np.add.at(votes, (row, owner), 1)
-    home = np.argmax(votes, axis=1).astype(np.int64)  # ties -> lowest proc
+    owners = np.empty((n, len(refs)), dtype=np.int64)
+    for j, (ref, tgt) in enumerate(zip(refs, targets)):
+        owners[:, j] = np.asarray(
+            arrays[ref.array].distribution.owner(tgt), dtype=np.int64
+        )
+    home = _majority_owner(owners)  # ties -> lowest proc
 
-    iters = [np.flatnonzero(home == p).astype(np.int64) for p in range(n_procs)]
+    # group iterations by home processor with one stable sort instead of
+    # one O(n) mask per processor
+    order = np.argsort(home, kind="stable")
+    counts = np.bincount(home, minlength=n_procs)
+    bounds = np.concatenate(([0], np.cumsum(counts)))
+    iters = [order[bounds[p] : bounds[p + 1]] for p in range(n_procs)]
 
     # cost: each processor examines its block of iterations -- one
     # translation probe + vote update per reference
     init = BlockDistribution(n, n_procs)
     per_proc_iter = np.array([init.local_size(p) for p in range(n_procs)], dtype=float)
     machine.charge_compute_all(
-        iops=list(per_proc_iter * len(refs) * (costs.hash_lookup + 2.0))
+        iops=per_proc_iter * len(refs) * (costs.hash_lookup + 2.0)
     )
     # ship iterations whose home differs from their initial block holder
     init_holder = np.asarray(init.owner(np.arange(n, dtype=np.int64)))
     moved = np.zeros((n_procs, n_procs), dtype=np.int64)
     np.add.at(moved, (init_holder, home), 1)
+    np.fill_diagonal(moved, 0)
+    move_p, move_q = np.nonzero(moved)
     machine.exchange(
-        {
-            (p, q): int(moved[p, q]) * ITERATION_RECORD_BYTES
-            for p in range(n_procs)
-            for q in range(n_procs)
-            if p != q and moved[p, q]
-        }
+        src=move_p,
+        dst=move_q,
+        nbytes=moved[move_p, move_q] * ITERATION_RECORD_BYTES,
     )
     machine.barrier()
     return IterationPartition(n, iters, method)

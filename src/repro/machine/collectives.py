@@ -14,6 +14,8 @@ from __future__ import annotations
 
 from typing import Sequence
 
+import numpy as np
+
 from repro.machine.machine import Machine
 
 
@@ -105,14 +107,9 @@ def alltoallv_cost(machine: Machine, bytes_matrix: Sequence[Sequence[int]]) -> f
     if len(bytes_matrix) != n or any(len(row) != n for row in bytes_matrix):
         raise ValueError(f"bytes_matrix must be {n}x{n}")
     start = machine.elapsed()
-    machine.exchange(
-        {
-            (src, dst): int(bytes_matrix[src][dst])
-            for src in range(n)
-            for dst in range(n)
-            if bytes_matrix[src][dst]
-        }
-    )
+    matrix = np.asarray(bytes_matrix, dtype=np.int64)
+    src, dst = np.nonzero(matrix)
+    machine.exchange(src=src, dst=dst, nbytes=matrix[src, dst])
     machine.barrier()
     return machine.elapsed() - start
 

@@ -21,6 +21,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass, replace
 
+import numpy as np
+
 
 @dataclass(frozen=True)
 class CostModel:
@@ -66,6 +68,22 @@ class CostModel:
         extra = max(hops - 1, 0)
         return self.alpha + self.beta * nbytes + self.hop_cost * extra
 
+    def message_time_array(self, nbytes: np.ndarray, hops: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`message_time` over parallel size/hop arrays.
+
+        The arithmetic matches the scalar path term for term (same
+        operation order), so simulated times are bit-identical whether a
+        message is costed one at a time or in bulk.
+        """
+        nbytes = np.asarray(nbytes)
+        hops = np.asarray(hops)
+        if nbytes.size and nbytes.min() < 0:
+            raise ValueError(f"negative message size {int(nbytes.min())}")
+        if hops.size and hops.min() < 0:
+            raise ValueError(f"negative hop count {int(hops.min())}")
+        extra = np.maximum(hops - 1, 0)
+        return self.alpha + self.beta * nbytes + self.hop_cost * extra
+
     # -- computation -------------------------------------------------------
     def compute_time(self, flops: float = 0.0, iops: float = 0.0, mem: float = 0.0) -> float:
         """Time for a block of local work.
@@ -75,6 +93,22 @@ class CostModel:
         """
         if min(flops, iops, mem) < 0:
             raise ValueError("operation counts must be non-negative")
+        return flops * self.flop_time + iops * self.iop_time + mem * self.mem_time
+
+    def compute_time_array(
+        self,
+        flops: np.ndarray | float = 0.0,
+        iops: np.ndarray | float = 0.0,
+        mem: np.ndarray | float = 0.0,
+    ) -> np.ndarray:
+        """Vectorized :meth:`compute_time`; same term order, so charging
+        work in bulk or per processor yields bit-identical times."""
+        flops = np.asarray(flops, dtype=np.float64)
+        iops = np.asarray(iops, dtype=np.float64)
+        mem = np.asarray(mem, dtype=np.float64)
+        for counts in (flops, iops, mem):
+            if counts.size and counts.min() < 0:
+                raise ValueError("operation counts must be non-negative")
         return flops * self.flop_time + iops * self.iop_time + mem * self.mem_time
 
     def scaled(self, **factors: float) -> "CostModel":

@@ -16,6 +16,8 @@ from __future__ import annotations
 from contextlib import contextmanager
 from typing import Iterator, Mapping, Sequence
 
+import numpy as np
+
 from repro.machine.costmodel import CostModel, IPSC860
 from repro.machine.stats import MachineStats, PhaseRecord, ProcessorStats
 from repro.machine.topology import Topology, make_topology
@@ -102,17 +104,27 @@ class Machine:
 
     def charge_compute_all(
         self,
-        flops: Sequence[float] | float = 0.0,
-        iops: Sequence[float] | float = 0.0,
-        mem: Sequence[float] | float = 0.0,
+        flops: Sequence[float] | np.ndarray | float = 0.0,
+        iops: Sequence[float] | np.ndarray | float = 0.0,
+        mem: Sequence[float] | np.ndarray | float = 0.0,
     ) -> None:
-        """Charge per-processor work vectors (scalars broadcast)."""
+        """Charge per-processor work vectors (scalars broadcast).
 
-        def at(v, p):
-            return v if isinstance(v, (int, float)) else v[p]
-
-        for p in range(self.n_procs):
-            self.charge_compute(p, flops=at(flops, p), iops=at(iops, p), mem=at(mem, p))
+        Accepts ndarrays, sequences, or scalars directly; the per-element
+        time conversion is one broadcasted expression rather than a
+        Python call per processor.
+        """
+        n = self.n_procs
+        fl = np.broadcast_to(np.asarray(flops, dtype=np.float64), (n,))
+        io = np.broadcast_to(np.asarray(iops, dtype=np.float64), (n,))
+        me = np.broadcast_to(np.asarray(mem, dtype=np.float64), (n,))
+        dt = self.cost.compute_time_array(flops=fl, iops=io, mem=me)
+        for p in range(n):
+            st = self.procs[p].stats
+            st.clock += dt[p]
+            st.flops += fl[p]
+            st.iops += io[p]
+            st.mem_ops += me[p]
 
     # ------------------------------------------------------------------
     # communication primitives
@@ -142,37 +154,105 @@ class Machine:
         d.bytes_received += nbytes
         return dt
 
-    def exchange(self, bytes_matrix: Mapping[tuple[int, int], int]) -> None:
+    def exchange(
+        self,
+        bytes_matrix: Mapping[tuple[int, int], int] | None = None,
+        *,
+        src: np.ndarray | Sequence[int] | None = None,
+        dst: np.ndarray | Sequence[int] | None = None,
+        nbytes: np.ndarray | Sequence[int] | None = None,
+    ) -> None:
         """Model an all-to-all-ish exchange phase.
 
-        ``bytes_matrix`` maps ``(src, dst)`` to message sizes in bytes.
-        Each processor's clock advances by the sum of the costs of the
-        messages it sends plus those it receives (sequential injection,
-        which is how the single-port iPSC/860 behaved); zero-byte entries
-        are skipped entirely -- CHAOS schedules never post empty messages.
+        Traffic is given either as ``bytes_matrix`` mapping ``(src, dst)``
+        to message sizes in bytes, or as parallel ``src``/``dst``/``nbytes``
+        arrays (the vectorized form the CHAOS hot paths use -- no Python
+        loop over message pairs).  Each processor's clock advances by the
+        sum of the costs of the messages it sends plus those it receives
+        (sequential injection, which is how the single-port iPSC/860
+        behaved); zero-byte entries are skipped entirely -- CHAOS
+        schedules never post empty messages.  Per-processor time and
+        counter updates accumulate in pair order, so both input forms
+        produce bit-identical clocks for the same pair sequence.
         """
-        send_time = [0.0] * self.n_procs
-        recv_time = [0.0] * self.n_procs
-        for (src, dst), nbytes in bytes_matrix.items():
-            self._check_rank(src)
-            self._check_rank(dst)
-            if nbytes < 0:
-                raise ValueError(f"negative message size {nbytes}")
-            if nbytes == 0:
-                continue
-            if src == dst:
-                self.charge_compute(src, mem=nbytes / 8.0)
-                continue
-            dt = self.cost.message_time(nbytes, self.topology.hops(src, dst))
-            send_time[src] += dt
-            recv_time[dst] += dt
-            s, d = self.procs[src].stats, self.procs[dst].stats
-            s.messages_sent += 1
-            s.bytes_sent += nbytes
-            d.messages_received += 1
-            d.bytes_received += nbytes
-        for p in range(self.n_procs):
-            self.procs[p].stats.clock += send_time[p] + recv_time[p]
+        if bytes_matrix is not None:
+            if src is not None or dst is not None or nbytes is not None:
+                raise ValueError("pass either bytes_matrix or src/dst/nbytes arrays")
+            count = len(bytes_matrix)
+            src = np.empty(count, dtype=np.int64)
+            dst = np.empty(count, dtype=np.int64)
+            nbytes = np.empty(count, dtype=np.int64)
+            for i, ((s, d), nb) in enumerate(bytes_matrix.items()):
+                src[i] = s
+                dst[i] = d
+                nbytes[i] = nb
+        elif src is None or dst is None or nbytes is None:
+            raise ValueError("need all of src, dst, and nbytes")
+        else:
+            src = np.asarray(src, dtype=np.int64)
+            dst = np.asarray(dst, dtype=np.int64)
+            nbytes = np.asarray(nbytes, dtype=np.int64)
+        if not (src.shape == dst.shape == nbytes.shape):
+            raise ValueError("src, dst, and nbytes must have matching shapes")
+        if src.size == 0:
+            return
+        n = self.n_procs
+        if src.min() < 0 or src.max() >= n or dst.min() < 0 or dst.max() >= n:
+            bad = src if src.min() < 0 or src.max() >= n else dst
+            bad = bad[(bad < 0) | (bad >= n)][0]
+            raise ValueError(f"processor id {int(bad)} out of range [0, {n})")
+        if nbytes.min() < 0:
+            raise ValueError(f"negative message size {int(nbytes.min())}")
+        live = nbytes != 0
+        if not live.all():
+            src, dst, nbytes = src[live], dst[live], nbytes[live]
+            if src.size == 0:
+                return
+
+        self_mask = src == dst
+        clock_add = np.zeros(n)
+        mem_add = np.zeros(n)
+        if self_mask.any():
+            # messages to self are local memory copies (charge_compute)
+            words = nbytes[self_mask] / 8.0
+            np.add.at(clock_add, src[self_mask], self.cost.compute_time_array(mem=words))
+            np.add.at(mem_add, src[self_mask], words)
+
+        cross = ~self_mask
+        xsrc, xdst, xbytes = src[cross], dst[cross], nbytes[cross]
+        send_time = np.zeros(n)
+        recv_time = np.zeros(n)
+        msg_sent = np.zeros(n, dtype=np.int64)
+        msg_recv = np.zeros(n, dtype=np.int64)
+        bytes_sent = np.zeros(n, dtype=np.int64)
+        bytes_recv = np.zeros(n, dtype=np.int64)
+        if xsrc.size:
+            hops = self.topology.hops_array(xsrc, xdst)
+            dt = self.cost.message_time_array(xbytes, hops)
+            np.add.at(send_time, xsrc, dt)
+            np.add.at(recv_time, xdst, dt)
+            msg_sent = np.bincount(xsrc, minlength=n)
+            msg_recv = np.bincount(xdst, minlength=n)
+            bytes_sent = np.bincount(xsrc, weights=xbytes, minlength=n).astype(np.int64)
+            bytes_recv = np.bincount(xdst, weights=xbytes, minlength=n).astype(np.int64)
+
+        touched = np.flatnonzero(
+            (clock_add != 0)
+            | (mem_add != 0)
+            | (send_time != 0)
+            | (recv_time != 0)
+            | (msg_sent != 0)
+            | (msg_recv != 0)
+        )
+        for p in touched:
+            st = self.procs[p].stats
+            st.clock += clock_add[p]
+            st.mem_ops += mem_add[p]
+            st.messages_sent += int(msg_sent[p])
+            st.bytes_sent += int(bytes_sent[p])
+            st.messages_received += int(msg_recv[p])
+            st.bytes_received += int(bytes_recv[p])
+            st.clock += send_time[p] + recv_time[p]
 
     def barrier(self) -> float:
         """Synchronize all clocks to the maximum plus a small sync cost."""

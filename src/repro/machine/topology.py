@@ -12,6 +12,23 @@ from __future__ import annotations
 import math
 from abc import ABC, abstractmethod
 
+import numpy as np
+
+if hasattr(np, "bitwise_count"):  # NumPy >= 2.0
+
+    def _popcount(x: np.ndarray) -> np.ndarray:
+        return np.bitwise_count(x).astype(np.int64)
+
+else:  # NumPy 1.x fallback: sum set bits per byte through a 256-entry table
+
+    _POPCOUNT8 = np.array(
+        [bin(i).count("1") for i in range(256)], dtype=np.int64
+    )
+
+    def _popcount(x: np.ndarray) -> np.ndarray:
+        b = np.ascontiguousarray(x, dtype=np.int64).view(np.uint8)
+        return _POPCOUNT8[b].reshape(x.size, 8).sum(axis=1)
+
 
 class Topology(ABC):
     """Abstract interconnect: hop counts between pairs of processors."""
@@ -25,6 +42,27 @@ class Topology(ABC):
     def hops(self, src: int, dst: int) -> int:
         """Number of network hops between processors ``src`` and ``dst``."""
 
+    def hops_array(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Vectorized hop counts for parallel ``src``/``dst`` id arrays.
+
+        Coerces and range-checks once, then delegates to
+        :meth:`_hops_kernel`; concrete topologies override the kernel
+        with closed-form array math so the machine's exchange path never
+        iterates pairs in Python.
+        """
+        src = np.asarray(src, dtype=np.int64)
+        dst = np.asarray(dst, dtype=np.int64)
+        self._check_array(src, dst)
+        return self._hops_kernel(src, dst)
+
+    def _hops_kernel(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        """Hop counts for validated int64 arrays (generic scalar loop)."""
+        return np.fromiter(
+            (self.hops(int(s), int(d)) for s, d in zip(src, dst)),
+            dtype=np.int64,
+            count=src.size,
+        )
+
     @abstractmethod
     def diameter(self) -> int:
         """Maximum hop count over all processor pairs."""
@@ -34,6 +72,14 @@ class Topology(ABC):
             if not 0 <= p < self.n_procs:
                 raise ValueError(
                     f"processor id {p} out of range [0, {self.n_procs})"
+                )
+
+    def _check_array(self, *proc_arrays: np.ndarray) -> None:
+        for arr in proc_arrays:
+            if arr.size and (arr.min() < 0 or arr.max() >= self.n_procs):
+                bad = arr[(arr < 0) | (arr >= self.n_procs)][0]
+                raise ValueError(
+                    f"processor id {int(bad)} out of range [0, {self.n_procs})"
                 )
 
     def neighbors(self, p: int) -> list[int]:
@@ -65,6 +111,9 @@ class HypercubeTopology(Topology):
         self._check(src, dst)
         return (src ^ dst).bit_count()
 
+    def _hops_kernel(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return _popcount(src ^ dst)
+
     def diameter(self) -> int:
         return self.dim
 
@@ -81,6 +130,10 @@ class RingTopology(Topology):
         d = abs(src - dst)
         return min(d, self.n_procs - d)
 
+    def _hops_kernel(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        d = np.abs(src - dst)
+        return np.minimum(d, self.n_procs - d)
+
     def diameter(self) -> int:
         return self.n_procs // 2
 
@@ -91,6 +144,9 @@ class FullyConnectedTopology(Topology):
     def hops(self, src: int, dst: int) -> int:
         self._check(src, dst)
         return 0 if src == dst else 1
+
+    def _hops_kernel(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        return (src != dst).astype(np.int64)
 
     def diameter(self) -> int:
         return 0 if self.n_procs == 1 else 1
@@ -114,6 +170,11 @@ class MeshTopology(Topology):
         self._check(src, dst)
         (r1, c1), (r2, c2) = self._coords(src), self._coords(dst)
         return abs(r1 - r2) + abs(c1 - c2)
+
+    def _hops_kernel(self, src: np.ndarray, dst: np.ndarray) -> np.ndarray:
+        r1, c1 = np.divmod(src, self.cols)
+        r2, c2 = np.divmod(dst, self.cols)
+        return np.abs(r1 - r2) + np.abs(c1 - c2)
 
     def diameter(self) -> int:
         return (self.rows - 1) + (self.cols - 1)

@@ -51,11 +51,20 @@ class MessageTrace:
                 self.events.append(MessageEvent(src, dst, nbytes))
             return result
 
-        def exchange(bytes_matrix):
-            for (src, dst), nbytes in bytes_matrix.items():
-                if src != dst and nbytes > 0:
-                    self.events.append(MessageEvent(src, dst, nbytes))
-            return self._orig_exchange(bytes_matrix)
+        def exchange(bytes_matrix=None, *, src=None, dst=None, nbytes=None):
+            array_args = (src, dst, nbytes)
+            if bytes_matrix is not None and all(a is None for a in array_args):
+                for (s, d), nb in bytes_matrix.items():
+                    if s != d and nb > 0:
+                        self.events.append(MessageEvent(s, d, nb))
+                return self._orig_exchange(bytes_matrix)
+            if bytes_matrix is None and all(a is not None for a in array_args):
+                for s, d, nb in zip(src, dst, nbytes):
+                    if s != d and nb > 0:
+                        self.events.append(MessageEvent(int(s), int(d), int(nb)))
+                return self._orig_exchange(src=src, dst=dst, nbytes=nbytes)
+            # invalid combination: record nothing, let the machine raise
+            return self._orig_exchange(bytes_matrix, src=src, dst=dst, nbytes=nbytes)
 
         self.machine.send = send
         self.machine.exchange = exchange

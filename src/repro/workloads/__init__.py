@@ -22,7 +22,12 @@ problem sizes: ``small`` (CI-friendly, default) or ``paper``
 import os
 from dataclasses import dataclass
 
-from repro.workloads.mesh import UnstructuredMesh, generate_mesh, edges_from_simplices
+from repro.workloads.mesh import (
+    UnstructuredMesh,
+    clear_mesh_cache,
+    edges_from_simplices,
+    generate_mesh,
+)
 from repro.workloads.euler import (
     euler_edge_loop,
     euler_flux_loop_statements,
@@ -84,6 +89,7 @@ def scale_config(name: str | None = None) -> ScaleConfig:
 
 __all__ = [
     "UnstructuredMesh",
+    "clear_mesh_cache",
     "generate_mesh",
     "edges_from_simplices",
     "euler_edge_loop",

@@ -13,10 +13,16 @@ randomly renumber the nodes.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass
 
 import numpy as np
 from scipy.spatial import Delaunay
+
+#: in-process cache of generated meshes, keyed by the full parameter tuple;
+#: Delaunay on 50k graded points costs seconds, and every benchmark harness
+#: regenerates the same handful of meshes
+_MESH_CACHE: dict[tuple, "UnstructuredMesh"] = {}
 
 
 @dataclass
@@ -88,18 +94,58 @@ def _graded_points(n: int, ndim: int, rng: np.random.Generator) -> np.ndarray:
     return pts
 
 
+def clear_mesh_cache() -> None:
+    """Drop every in-process cached mesh (tests use this)."""
+    _MESH_CACHE.clear()
+
+
+def _fresh_copy(mesh: UnstructuredMesh) -> UnstructuredMesh:
+    """Copies protect cached meshes from caller-side mutation."""
+    return UnstructuredMesh(coords=mesh.coords.copy(), edges=mesh.edges.copy())
+
+
+def _disk_cache_path(cache_dir: str, key: tuple) -> str:
+    n_nodes, ndim, seed, renumber, graded = key
+    name = f"mesh_n{n_nodes}_d{ndim}_s{seed}_r{int(renumber)}_g{int(graded)}.npz"
+    return os.path.join(cache_dir, name)
+
+
+def _persist_mesh(cache_dir: str, key: tuple, mesh: UnstructuredMesh) -> None:
+    """Write-then-rename so concurrent readers never see a partial .npz
+    and an interrupted write cannot poison the cache."""
+    os.makedirs(cache_dir, exist_ok=True)
+    path = _disk_cache_path(cache_dir, key)
+    # savez appends .npz to names lacking it, so keep the suffix
+    tmp = f"{path}.tmp{os.getpid()}.npz"
+    try:
+        np.savez(tmp, coords=mesh.coords, edges=mesh.edges)
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
+
+
 def generate_mesh(
     n_nodes: int,
     ndim: int = 3,
     seed: int = 0,
     renumber: bool = True,
     graded: bool = True,
+    cache: bool = True,
+    cache_dir: str | None = None,
 ) -> UnstructuredMesh:
     """Generate a Delaunay mesh on ``n_nodes`` points.
 
     ``renumber=True`` (default) destroys any locality in the node
     numbering, which is what makes BLOCK distributions genuinely bad on
     these meshes (the Table 4 baseline).
+
+    Generation is deterministic in its parameters, so results are cached
+    in-process by default (``cache=False`` opts out); passing
+    ``cache_dir`` additionally persists meshes on disk as ``.npz`` files
+    (the benchmarks use ``benchmarks/out/``, so repeated bench runs skip
+    the multi-second Delaunay step entirely).  Callers always receive a
+    fresh copy, never the cached instance.
     """
     if n_nodes < ndim + 2:
         raise ValueError(
@@ -107,6 +153,21 @@ def generate_mesh(
         )
     if ndim not in (2, 3):
         raise ValueError(f"only 2-D and 3-D meshes supported, got ndim={ndim}")
+    key = (int(n_nodes), int(ndim), int(seed), bool(renumber), bool(graded))
+    if cache and key in _MESH_CACHE:
+        mesh = _MESH_CACHE[key]
+        if cache_dir is not None and not os.path.exists(
+            _disk_cache_path(cache_dir, key)
+        ):
+            _persist_mesh(cache_dir, key, mesh)
+        return _fresh_copy(mesh)
+    if cache and cache_dir is not None:
+        path = _disk_cache_path(cache_dir, key)
+        if os.path.exists(path):
+            with np.load(path) as data:
+                mesh = UnstructuredMesh(coords=data["coords"], edges=data["edges"])
+            _MESH_CACHE[key] = mesh
+            return _fresh_copy(mesh)
     rng = np.random.default_rng(seed)
     pts = (
         _graded_points(n_nodes, ndim, rng)
@@ -118,4 +179,8 @@ def generate_mesh(
     mesh = UnstructuredMesh(coords=pts.T.copy(), edges=edges)
     if renumber:
         mesh = mesh.renumbered(rng)
+    if cache:
+        _MESH_CACHE[key] = _fresh_copy(mesh)
+        if cache_dir is not None:
+            _persist_mesh(cache_dir, key, mesh)
     return mesh

@@ -1,0 +1,195 @@
+"""Flattened-schedule equivalence: CSR apply path vs the naive pair loop.
+
+``CommSchedule`` historically iterated ``send_lists`` pair by pair; it
+now applies one flattened fancy-index per processor.  These tests keep a
+small naive reference implementation (the old per-pair semantics) and
+check, over randomized schedules, that gather / scatter / scatter_op
+produce *identical* array contents and *bit-identical* per-processor
+machine clocks and counters -- including the order-sensitive cases:
+duplicate recv slots (last writer wins) and floating-point reduction
+accumulation order.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.costs import DEFAULT_COSTS
+from repro.chaos.schedule import CommSchedule
+from repro.distribution.distarray import DistArray
+from repro.distribution.regular import BlockDistribution
+from repro.machine.machine import Machine
+
+
+# ----------------------------------------------------------------------
+# naive reference: the historical per-(sender, receiver)-pair loop
+# ----------------------------------------------------------------------
+def naive_gather(machine, send_lists, recv_slots, arr, ghosts, costs=DEFAULT_COSTS):
+    n = machine.n_procs
+    pack = np.zeros(n)
+    unpack = np.zeros(n)
+    wires = {}
+    for (q, p), sl in send_lists.items():
+        if not len(sl):
+            continue
+        ghosts[p][recv_slots[(q, p)]] = arr.local(q)[sl]
+        pack[q] += costs.pack_unpack_mem * len(sl)
+        unpack[p] += costs.pack_unpack_mem * len(sl)
+        wires[(q, p)] = len(sl) * arr.itemsize
+    machine.charge_compute_all(mem=list(pack))
+    machine.exchange(wires)
+    machine.charge_compute_all(mem=list(unpack))
+
+
+def naive_reverse(
+    machine, send_lists, recv_slots, ghosts, arr, op, costs=DEFAULT_COSTS
+):
+    n = machine.n_procs
+    pack = np.zeros(n)
+    unpack = np.zeros(n)
+    combine = np.zeros(n)
+    wires = {}
+    for (q, p), sl in send_lists.items():
+        if not len(sl):
+            continue
+        data = ghosts[p][recv_slots[(q, p)]]
+        if op is None:
+            arr.local(q)[sl] = data
+        else:
+            op.at(arr.local(q), sl, data)
+            combine[q] += 1.0 * len(sl)
+        pack[p] += costs.pack_unpack_mem * len(sl)
+        unpack[q] += costs.pack_unpack_mem * len(sl)
+        wires[(p, q)] = len(sl) * arr.itemsize
+    machine.charge_compute_all(mem=list(pack))
+    machine.exchange(wires)
+    machine.charge_compute_all(mem=list(unpack), flops=list(combine))
+
+
+# ----------------------------------------------------------------------
+# randomized schedule construction
+# ----------------------------------------------------------------------
+def random_schedule_parts(rng, n_procs, local_size, max_ghost=12):
+    """Random send/recv pair dicts (duplicates allowed) + ghost sizes."""
+    ghost_sizes = [int(rng.integers(0, max_ghost + 1)) for _ in range(n_procs)]
+    send_lists = {}
+    recv_slots = {}
+    pairs = [
+        (q, p)
+        for q in range(n_procs)
+        for p in range(n_procs)
+        if rng.random() < 0.6
+    ]
+    pairs = [pairs[i] for i in rng.permutation(len(pairs))]
+    for q, p in pairs:
+        if ghost_sizes[p] == 0:
+            count = 0
+        else:
+            count = int(rng.integers(0, 2 * ghost_sizes[p] + 1))
+        # duplicate send offsets and recv slots are deliberately allowed:
+        # they exercise last-writer-wins and accumulation-order semantics
+        send_lists[(q, p)] = rng.integers(0, local_size, size=count)
+        recv_slots[(q, p)] = rng.integers(0, max(ghost_sizes[p], 1), size=count)
+    return send_lists, recv_slots, ghost_sizes
+
+
+def make_world(n_procs, size, seed):
+    machine = Machine(n_procs, topology="full" if n_procs & (n_procs - 1) else "hypercube")
+    dist = BlockDistribution(size, n_procs)
+    rng = np.random.default_rng(seed)
+    arr = DistArray.from_global(machine, dist, rng.normal(size=size), name="x")
+    min_local = min(dist.local_size(p) for p in range(n_procs))
+    return machine, arr, min_local
+
+
+def clocks(machine):
+    return [machine.procs[p].stats.clock for p in range(machine.n_procs)]
+
+
+def counters(machine):
+    return [
+        (
+            s.stats.messages_sent,
+            s.stats.messages_received,
+            s.stats.bytes_sent,
+            s.stats.bytes_received,
+            s.stats.flops,
+            s.stats.mem_ops,
+        )
+        for s in machine.procs
+    ]
+
+
+CASES = [(2, 17, 0), (3, 23, 1), (4, 40, 2), (4, 64, 3), (8, 61, 4), (8, 128, 5)]
+
+
+@pytest.mark.parametrize("n_procs,size,seed", CASES)
+def test_gather_matches_naive(n_procs, size, seed):
+    rng = np.random.default_rng(seed)
+    m_flat, arr_flat, min_local = make_world(n_procs, size, seed)
+    m_ref, arr_ref, _ = make_world(n_procs, size, seed)
+    send, recv, gsizes = random_schedule_parts(rng, n_procs, min_local)
+
+    sched = CommSchedule(m_flat, arr_flat.distribution.signature(), send, recv, gsizes)
+    g_flat = [np.zeros(s) for s in gsizes]
+    g_ref = [np.zeros(s) for s in gsizes]
+
+    sched.gather(arr_flat, g_flat)
+    naive_gather(m_ref, sched.send_lists, sched.recv_slots, arr_ref, g_ref)
+
+    for p in range(n_procs):
+        np.testing.assert_array_equal(g_flat[p], g_ref[p])
+    assert clocks(m_flat) == clocks(m_ref)
+    assert counters(m_flat) == counters(m_ref)
+
+
+@pytest.mark.parametrize("n_procs,size,seed", CASES)
+@pytest.mark.parametrize("opname", ["assign", "add", "max"])
+def test_reverse_matches_naive(n_procs, size, seed, opname):
+    rng = np.random.default_rng(seed + 100)
+    m_flat, arr_flat, min_local = make_world(n_procs, size, seed)
+    m_ref, arr_ref, _ = make_world(n_procs, size, seed)
+    send, recv, gsizes = random_schedule_parts(rng, n_procs, min_local)
+
+    sched = CommSchedule(m_flat, arr_flat.distribution.signature(), send, recv, gsizes)
+    contrib = [rng.normal(size=s) for s in gsizes]
+    g_flat = [c.copy() for c in contrib]
+    g_ref = [c.copy() for c in contrib]
+
+    op = {"assign": None, "add": np.add, "max": np.maximum}[opname]
+    if op is None:
+        sched.scatter(g_flat, arr_flat)
+    else:
+        sched.scatter_op(g_flat, arr_flat, op)
+    naive_reverse(m_ref, sched.send_lists, sched.recv_slots, g_ref, arr_ref, op)
+
+    for p in range(n_procs):
+        np.testing.assert_array_equal(arr_flat.local(p), arr_ref.local(p))
+    assert clocks(m_flat) == clocks(m_ref)
+    assert counters(m_flat) == counters(m_ref)
+
+
+def test_empty_and_self_pairs():
+    """Self-messages and empty pairs survive flattening unchanged."""
+    m_flat, arr_flat, _ = make_world(2, 10, 7)
+    m_ref, arr_ref, _ = make_world(2, 10, 7)
+    send = {
+        (0, 0): np.array([1, 2]),  # self pair: local memory copy
+        (1, 0): np.array([], dtype=np.int64),  # empty: skipped entirely
+        (0, 1): np.array([3, 3]),  # duplicate sends of one element
+    }
+    recv = {
+        (0, 0): np.array([0, 1]),
+        (1, 0): np.array([], dtype=np.int64),
+        (0, 1): np.array([1, 0]),
+    }
+    gsizes = [2, 2]
+    sched = CommSchedule(m_flat, arr_flat.distribution.signature(), send, recv, gsizes)
+    g_flat = [np.zeros(2), np.zeros(2)]
+    g_ref = [np.zeros(2), np.zeros(2)]
+    sched.gather(arr_flat, g_flat)
+    naive_gather(m_ref, sched.send_lists, sched.recv_slots, arr_ref, g_ref)
+    for p in range(2):
+        np.testing.assert_array_equal(g_flat[p], g_ref[p])
+    assert clocks(m_flat) == clocks(m_ref)
+    # the empty pair must not produce a message
+    assert m_flat.procs[1].stats.messages_sent == 0
