@@ -42,7 +42,7 @@ def run_config(mesh, coalesce, merge, sweeps=20):
         "config": ("coalesce" if coalesce else "plain")
         + ("+merge" if merge else ""),
         "executor": prog.phase_time("executor"),
-        "messages": sum(p.stats.messages_sent for p in m.procs),
+        "messages": int(m.counters.messages_sent.sum()),
         "ghost_elements": sum(ghosts.values()),
     }
 

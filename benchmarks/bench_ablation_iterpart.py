@@ -62,13 +62,13 @@ def run_read_heavy(rule, n=2000, n_iter=4000, procs=8, seed=0):
     }
     loop = read_heavy_loop(n_iter)
     product = run_inspector(m, loop, arrays, iter_method=rule)
-    before_bytes = sum(p.stats.bytes_sent for p in m.procs)
+    before_bytes = int(m.counters.bytes_sent.sum())
     before_t = m.elapsed()
     run_executor(m, product, arrays, n_times=10)
     return {
         "rule": rule,
         "exec_seconds": m.elapsed() - before_t,
-        "bytes_per_sweep": (sum(p.stats.bytes_sent for p in m.procs) - before_bytes) / 10,
+        "bytes_per_sweep": (int(m.counters.bytes_sent.sum()) - before_bytes) / 10,
         "ghost_elements": sum(
             pat.ghosts.total_elements() for pat in product.patterns.values()
         ),

@@ -29,7 +29,7 @@ def run_euler(mesh, merge, sweeps=20):
     prog.redistribute("reg", "fmt")
     m.reset()
     prog.forall(euler_edge_loop(mesh), n_times=sweeps)
-    return m.elapsed(), sum(p.stats.messages_sent for p in m.procs)
+    return m.elapsed(), int(m.counters.messages_sent.sum())
 
 
 def run_md(merge, sweeps=20):
@@ -39,7 +39,7 @@ def run_md(merge, sweeps=20):
     )
     m.reset()
     prog.forall(md_force_loop(pairs.shape[1]), n_times=sweeps)
-    return m.elapsed(), sum(p.stats.messages_sent for p in m.procs)
+    return m.elapsed(), int(m.counters.messages_sent.sum())
 
 
 def test_schedule_merging(benchmark, report):

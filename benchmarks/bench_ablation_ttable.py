@@ -28,7 +28,7 @@ def run_variant(mesh, variant, procs=16):
         "variant": variant,
         "inspector": prog.phase_time("inspector"),
         "executor": prog.phase_time("executor"),
-        "messages": sum(p.stats.messages_sent for p in m.procs),
+        "messages": int(m.counters.messages_sent.sum()),
         "mem_per_proc_entries": (
             mesh.n_nodes if variant == "replicated" else -(-mesh.n_nodes // procs)
         ),

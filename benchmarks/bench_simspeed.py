@@ -7,9 +7,11 @@ the P=64/128/256 Euler no-reuse scenario (50k nodes, 20 executor
 iterations, RCB) and writes ``benchmarks/out/BENCH_simspeed.json`` so
 future PRs can track the simulator's own performance trajectory.
 
-Reference points on the original per-pair implementation vs the
-flattened one (same host, 2026-07): P=256 took ~44.3s before
-vectorization and ~6.8s after (~6.5x).
+Reference points on this host (2026-07), P=256 scenario:
+
+* per-pair message loops (seed): ~44.3s
+* flattened CSR schedules + array exchange (PR 1): ~6.5s
+* struct-of-arrays Machine counter block + flattened remap (PR 2): ~6.0s
 
 Run standalone (``python benchmarks/bench_simspeed.py``) or under
 pytest (``pytest benchmarks/bench_simspeed.py``).
@@ -27,6 +29,10 @@ JSON_PATH = os.path.join(OUT_DIR, "BENCH_simspeed.json")
 N_NODES = 50000
 ITERATIONS = 20
 PROC_COUNTS = [64, 128, 256]
+
+#: implementation generation recorded in the JSON so the trajectory of
+#: the simulator's own performance stays attributable across PRs
+IMPLEMENTATION = "soa-counter-block"
 
 
 def run_simspeed(proc_counts=PROC_COUNTS, n_nodes=N_NODES, iterations=ITERATIONS):
@@ -63,6 +69,7 @@ def run_simspeed(proc_counts=PROC_COUNTS, n_nodes=N_NODES, iterations=ITERATIONS
         )
     return {
         "scenario": "euler_edge_sweep_no_reuse",
+        "implementation": IMPLEMENTATION,
         "n_nodes": n_nodes,
         "iterations": iterations,
         "partitioner": "RCB",

@@ -98,8 +98,8 @@ def main():
     print(f"  {'total':>10}: {machine.elapsed():8.3f}s")
     print(
         f"\nMachine counters: "
-        f"{sum(p.stats.messages_sent for p in machine.procs)} messages, "
-        f"{sum(p.stats.bytes_sent for p in machine.procs)} bytes"
+        f"{int(machine.counters.messages_sent.sum())} messages, "
+        f"{int(machine.counters.bytes_sent.sum())} bytes"
     )
 
 

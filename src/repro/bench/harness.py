@@ -135,8 +135,8 @@ def _collect(prog: IrregularProgram, spec: dict) -> ExperimentResult:
         "elapsed": machine.elapsed(),
         "inspector_runs": prog.inspector_runs,
         "reuse_hits": prog.reuse_hits,
-        "messages": sum(p.stats.messages_sent for p in machine.procs),
-        "bytes": sum(p.stats.bytes_sent for p in machine.procs),
+        "messages": int(machine.counters.messages_sent.sum()),
+        "bytes": int(machine.counters.bytes_sent.sum()),
     }
     return res
 

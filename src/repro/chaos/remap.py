@@ -5,6 +5,13 @@ from the default to the new distribution" (Section 4.1.2).  The schedule
 is built once per redistribution and applied to every array aligned with
 the decomposition -- remapping x, y and the coordinate arrays of a mesh
 shares one :class:`RemapSchedule`.
+
+Like ``CommSchedule``, the move set is stored flattened (CSR-style):
+one (src proc, dst proc, count) triple per communicating pair plus
+concatenated old/new local-offset arrays, with precomputed groupings by
+sender and receiver.  ``apply`` and ``build_remap_schedule`` therefore
+run one fancy-index per processor and pure bincount/ufunc charging --
+no Python loop over move pairs.
 """
 
 from __future__ import annotations
@@ -17,27 +24,90 @@ from repro.distribution.distarray import DistArray
 from repro.machine.machine import Machine
 
 
+def _group_elements(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Stable grouping of element positions by key.
+
+    Returns ``(uniq_keys, order, bounds)``: ``order[bounds[i]:bounds[i+1]]``
+    are the positions with key ``uniq_keys[i]``, in original order.
+    """
+    if not keys.size:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty, np.zeros(1, dtype=np.int64)
+    order = np.argsort(keys, kind="stable")
+    sorted_keys = keys[order]
+    boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
+    bounds = np.concatenate(([0], boundaries, [keys.size]))
+    return sorted_keys[bounds[:-1]], order, bounds
+
+
 class RemapSchedule:
-    """Moves every element from its old owner/offset to its new one."""
+    """Moves every element from its old owner/offset to its new one.
+
+    The flattened form: ``pair_p[i]``/``pair_q[i]``/``pair_counts[i]``
+    describe the i-th communicating pair; ``src_index``/``dst_index``
+    hold all pairs' local offsets concatenated in pair order.
+    """
 
     def __init__(
         self,
         machine: Machine,
         old_signature: tuple,
         new_dist: Distribution,
-        moves: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]],
+        moves: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] | None = None,
+        *,
+        pair_p: np.ndarray | None = None,
+        pair_q: np.ndarray | None = None,
+        pair_counts: np.ndarray | None = None,
+        src_index: np.ndarray | None = None,
+        dst_index: np.ndarray | None = None,
     ):
         self.machine = machine
         self.old_signature = old_signature
         self.new_dist = new_dist
-        #: (src, dst) -> (old local offsets on src, new local offsets on dst)
-        self.moves = moves
+        if moves is not None:
+            # legacy constructor form: flatten the (src, dst) -> offsets
+            # dict once, skipping empty pairs (the old apply did too)
+            items = [(pq, sl, dl) for pq, (sl, dl) in moves.items() if len(sl)]
+            pair_p = np.array([pq[0] for pq, _, _ in items], dtype=np.int64)
+            pair_q = np.array([pq[1] for pq, _, _ in items], dtype=np.int64)
+            pair_counts = np.array([len(sl) for _, sl, _ in items], dtype=np.int64)
+            if items:
+                src_index = np.concatenate([np.asarray(sl, dtype=np.int64) for _, sl, _ in items])
+                dst_index = np.concatenate([np.asarray(dl, dtype=np.int64) for _, _, dl in items])
+            else:
+                src_index = np.empty(0, dtype=np.int64)
+                dst_index = np.empty(0, dtype=np.int64)
+        self.pair_p = pair_p
+        self.pair_q = pair_q
+        self.pair_counts = pair_counts
+        self.src_index = src_index
+        self.dst_index = dst_index
+        # element -> pair proc maps, grouped by sender and by receiver so
+        # apply() runs one gather fancy-index per source processor and one
+        # scatter fancy-index per destination processor
+        elem_p = np.repeat(pair_p, pair_counts)
+        elem_q = np.repeat(pair_q, pair_counts)
+        self._send_procs, self._send_order, self._send_bounds = _group_elements(elem_p)
+        self._recv_procs, self._recv_order, self._recv_bounds = _group_elements(elem_q)
+
+    @property
+    def moves(self) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
+        """(src, dst) -> (old local offsets, new local offsets), materialized
+        lazily from the flattened arrays (compatibility/debugging view)."""
+        out = {}
+        starts = np.concatenate(([0], np.cumsum(self.pair_counts)))
+        for i in range(self.pair_p.size):
+            lo, hi = starts[i], starts[i + 1]
+            out[(int(self.pair_p[i]), int(self.pair_q[i]))] = (
+                self.src_index[lo:hi],
+                self.dst_index[lo:hi],
+            )
+        return out
 
     def element_count(self) -> int:
         """Elements that change processor (self-moves excluded)."""
-        return sum(
-            len(src_l) for (p, q), (src_l, _) in self.moves.items() if p != q
-        )
+        cross = self.pair_p != self.pair_q
+        return int(self.pair_counts[cross].sum())
 
     def apply(
         self, arr: DistArray, costs: ChaosCosts = DEFAULT_COSTS
@@ -52,28 +122,27 @@ class RemapSchedule:
             )
         m = self.machine
         n = m.n_procs
-        new_locals = [
-            np.empty(self.new_dist.local_size(p), dtype=arr.dtype) for p in range(n)
-        ]
-        pack = np.zeros(n)
-        unpack = np.zeros(n)
-        pair_p: list[int] = []
-        pair_q: list[int] = []
-        pair_bytes: list[int] = []
-        for (p, q), (src_l, dst_l) in self.moves.items():
-            if not len(src_l):
-                continue
-            new_locals[q][dst_l] = arr.local(p)[src_l]
-            pack[p] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
-            unpack[q] += DEFAULT_COSTS.pack_unpack_mem * len(src_l)
-            pair_p.append(p)
-            pair_q.append(q)
-            pair_bytes.append(len(src_l) * arr.itemsize)
+        sizes = self.new_dist.local_sizes()
+        new_locals = [np.empty(sizes[p], dtype=arr.dtype) for p in range(n)]
+
+        # gather every moved value with one fancy-index per source proc,
+        # then scatter with one fancy-index per destination proc
+        vals = np.empty(self.src_index.size, dtype=arr.dtype)
+        for i, p in enumerate(self._send_procs):
+            idx = self._send_order[self._send_bounds[i] : self._send_bounds[i + 1]]
+            vals[idx] = arr.local(int(p))[self.src_index[idx]]
+        for i, q in enumerate(self._recv_procs):
+            idx = self._recv_order[self._recv_bounds[i] : self._recv_bounds[i + 1]]
+            new_locals[int(q)][self.dst_index[idx]] = vals[idx]
+
+        pack_w = costs.pack_unpack_mem * self.pair_counts
+        pack = np.bincount(self.pair_p, weights=pack_w, minlength=n)
+        unpack = np.bincount(self.pair_q, weights=pack_w, minlength=n)
         m.charge_compute_all(mem=pack)
         m.exchange(
-            src=np.asarray(pair_p, dtype=np.int64),
-            dst=np.asarray(pair_q, dtype=np.int64),
-            nbytes=np.asarray(pair_bytes, dtype=np.int64),
+            src=self.pair_p,
+            dst=self.pair_q,
+            nbytes=self.pair_counts * arr.itemsize,
         )
         m.charge_compute_all(mem=unpack)
         arr.rebind(self.new_dist, new_locals)
@@ -104,37 +173,40 @@ def build_remap_schedule(
     old_lidx = np.asarray(old_dist.local_index(g), dtype=np.int64) if size else g
     new_lidx = np.asarray(new_dist.local_index(g), dtype=np.int64) if size else g
 
-    moves: dict[tuple[int, int], tuple[np.ndarray, np.ndarray]] = {}
-    counts = np.zeros((n, n), dtype=np.int64)
-    if size:
-        pair_key = old_owner * n + new_owner
-        order = np.argsort(pair_key, kind="stable")
-        sorted_keys = pair_key[order]
-        boundaries = np.flatnonzero(np.diff(sorted_keys)) + 1
-        starts = np.concatenate(([0], boundaries, [size]))
-        for i in range(len(starts) - 1):
-            lo, hi = starts[i], starts[i + 1]
-            key = int(sorted_keys[lo])
-            p, q = divmod(key, n)
-            idx = order[lo:hi]
-            moves[(p, q)] = (old_lidx[idx], new_lidx[idx])
-            counts[p, q] = hi - lo
+    # one stable sort groups all elements by (old owner, new owner); pair
+    # ids, counts, and the flattened offset lists fall out without any
+    # per-pair Python loop
+    pair_keys, order, bounds = _group_elements(
+        old_owner * n + new_owner if size else np.empty(0, dtype=np.int64)
+    )
+    pair_p = pair_keys // n
+    pair_q = pair_keys % n
+    pair_counts = np.diff(bounds)
+    src_index = old_lidx[order]
+    dst_index = new_lidx[order]
 
     # charge: per-element remap bookkeeping at the old owner, plus the
     # move-list exchange (each element's (gidx, new offset) pair travels
     # to the new owner as schedule metadata)
-    per_proc = counts.sum(axis=1).astype(float)
+    per_proc = np.bincount(pair_p, weights=pair_counts, minlength=n)
     machine.charge_compute_all(iops=costs.remap_build * per_proc)
-    off_diag = counts.copy()
-    np.fill_diagonal(off_diag, 0)
-    move_p, move_q = np.nonzero(off_diag)
+    cross = pair_p != pair_q
     machine.exchange(
-        src=move_p,
-        dst=move_q,
-        nbytes=off_diag[move_p, move_q] * 2 * costs.index_bytes,
+        src=pair_p[cross],
+        dst=pair_q[cross],
+        nbytes=pair_counts[cross] * 2 * costs.index_bytes,
     )
     machine.barrier()
-    return RemapSchedule(machine, old_dist.signature(), new_dist, moves)
+    return RemapSchedule(
+        machine,
+        old_dist.signature(),
+        new_dist,
+        pair_p=pair_p,
+        pair_q=pair_q,
+        pair_counts=pair_counts,
+        src_index=src_index,
+        dst_index=dst_index,
+    )
 
 
 def remap_array(

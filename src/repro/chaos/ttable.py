@@ -125,23 +125,41 @@ class DistributedTranslationTable(TranslationTable):
         machine.charge_compute_all(iops=2.0 * fill)
         machine.barrier()
 
+    def _page_request_counts(self, p: int, g: np.ndarray) -> np.ndarray:
+        """Per-page-owner request counts for one reference list (shared by
+        the batched and non-batched dereference paths)."""
+        counts = np.zeros(self.machine.n_procs, dtype=np.int64)
+        if g.size:
+            page_owner = np.asarray(self.pages.owner(g), dtype=np.int64)
+            np.add.at(counts, page_owner, 1)
+        return counts
+
     def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         g = np.asarray(gidx, dtype=np.int64)
         owners, lidx = self._translate(g)
         if g.size:
-            page_owner = np.asarray(self.pages.owner(g), dtype=np.int64)
             m = self.machine
-            uniq_owners, owner_counts = np.unique(page_owner, return_counts=True)
-            for q, cnt in zip(uniq_owners, owner_counts):
-                q = int(q)
-                cnt = int(cnt)
-                if q == p:
-                    m.charge_compute(p, iops=self.costs.translate_replicated * cnt)
-                    continue
-                # request: indices to page owner; probe there; reply: pairs
-                m.send(p, q, cnt * self.costs.index_bytes)
-                m.charge_compute(q, iops=self.costs.translate_remote * cnt)
-                m.send(q, p, cnt * 2 * self.costs.index_bytes)
+            counts = self._page_request_counts(p, g)
+            if counts[p]:
+                # pages this processor itself owns: local table lookups
+                m.charge_compute(
+                    p, iops=self.costs.translate_replicated * int(counts[p])
+                )
+                counts[p] = 0
+            uq = np.flatnonzero(counts)
+            if uq.size:
+                # request exchange (indices), probes at the owners, reply
+                # exchange (pairs) -- the batched kernel's three steps,
+                # restricted to one requester, with no per-owner loop
+                cnt = counts[uq]
+                req_p = np.full(uq.size, p, dtype=np.int64)
+                m.exchange(src=req_p, dst=uq, nbytes=cnt * self.costs.index_bytes)
+                probe = np.zeros(m.n_procs)
+                probe[uq] = self.costs.translate_remote * cnt
+                m.charge_compute_all(iops=probe)
+                m.exchange(
+                    src=uq, dst=req_p, nbytes=cnt * 2 * self.costs.index_bytes
+                )
         return owners, lidx
 
     def dereference_all(
@@ -162,9 +180,7 @@ class DistributedTranslationTable(TranslationTable):
         for p, refs in enumerate(ref_lists):
             g = np.asarray(refs, dtype=np.int64)
             results.append(self._translate(g))
-            if g.size:
-                po = np.asarray(self.pages.owner(g), dtype=np.int64)
-                np.add.at(req_counts[p], po, 1)
+            req_counts[p] = self._page_request_counts(p, g)
         # request exchange (indices), probe at owners, reply exchange (pairs)
         off_diag = req_counts.copy()
         np.fill_diagonal(off_diag, 0)

@@ -95,6 +95,13 @@ def run_inspector(
     ind_cache: dict[str, np.ndarray] = {}
     patterns: dict[tuple[str, str | None], PatternData] = {}
 
+    # flattened iteration partition: one fancy-index over all iterations
+    # (then a zero-copy split) instead of one per processor
+    iter_flat = (
+        np.concatenate(itpart.iters) if itpart.iters else np.empty(0, dtype=np.int64)
+    )
+    iter_bounds = np.cumsum([it.size for it in itpart.iters])[:-1]
+
     def per_proc_refs(index: str | None) -> list[np.ndarray]:
         """Global element indices each processor's iterations touch."""
         if index is None:
@@ -105,7 +112,7 @@ def run_inspector(
         if index not in ind_cache:
             ind_cache[index] = arrays[index].to_global().astype(np.int64)
         values = ind_cache[index]
-        return [values[it] for it in itpart.iters]
+        return np.split(values[iter_flat], iter_bounds)
 
     def get_ttable(array_name: str) -> TranslationTable:
         arr = arrays[array_name]

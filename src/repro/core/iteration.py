@@ -143,7 +143,7 @@ def partition_iterations(
     # cost: each processor examines its block of iterations -- one
     # translation probe + vote update per reference
     init = BlockDistribution(n, n_procs)
-    per_proc_iter = np.array([init.local_size(p) for p in range(n_procs)], dtype=float)
+    per_proc_iter = init.local_sizes().astype(np.float64)
     machine.charge_compute_all(
         iops=per_proc_iter * len(refs) * (costs.hash_lookup + 2.0)
     )

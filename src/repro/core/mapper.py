@@ -64,12 +64,10 @@ def _charge_partitioner(machine: Machine, result: PartitionResult) -> None:
     if result.comm_bytes:
         # bulk data movement spread across the machine
         per_proc_bytes = result.comm_bytes / n
-        dt = machine.cost.message_time(int(per_proc_bytes))
-        for proc in machine.procs:
-            proc.stats.clock += dt
+        machine.counters.clock += machine.cost.message_time(int(per_proc_bytes))
     if result.sync_rounds and n > 1:
         depth = max(1, (n - 1).bit_length())
-        dt = result.sync_rounds * 2 * depth * machine.cost.message_time(8)
-        for proc in machine.procs:
-            proc.stats.clock += dt
+        machine.counters.clock += (
+            result.sync_rounds * 2 * depth * machine.cost.message_time(8)
+        )
     machine.barrier()

@@ -62,6 +62,17 @@ class Distribution(ABC):
         """Dense owner array of length ``size`` (for tests and GeoCoL)."""
         return np.asarray(self.owner(np.arange(self.size, dtype=np.int64)))
 
+    def local_sizes(self) -> np.ndarray:
+        """Per-processor element counts as one int64 array.
+
+        The generic implementation counts the owner map; regular
+        distributions override it with closed-form arithmetic so hot
+        paths never loop ``local_size`` over processors.
+        """
+        if not self.size:
+            return np.zeros(self.n_procs, dtype=np.int64)
+        return np.bincount(self.owner_map(), minlength=self.n_procs).astype(np.int64)
+
     def signature(self) -> tuple:
         """Hashable identity used by data access descriptors.
 

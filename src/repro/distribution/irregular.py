@@ -65,6 +65,9 @@ class IrregularDistribution(Distribution):
         self._check_proc(p)
         return int(self._counts[p])
 
+    def local_sizes(self) -> np.ndarray:
+        return self._counts.copy()
+
     def local_indices(self, p: int) -> np.ndarray:
         self._check_proc(p)
         return self._by_proc[p].copy()

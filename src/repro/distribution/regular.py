@@ -44,6 +44,12 @@ class BlockDistribution(Distribution):
         hi = min(lo + self.chunk, self.size)
         return max(hi - lo, 0)
 
+    def local_sizes(self) -> np.ndarray:
+        if not self.chunk:
+            return np.zeros(self.n_procs, dtype=np.int64)
+        lo = np.arange(self.n_procs, dtype=np.int64) * self.chunk
+        return np.clip(self.size - lo, 0, self.chunk)
+
 
 class CyclicDistribution(Distribution):
     """HPF CYCLIC: element g lives on processor ``g mod P``."""
@@ -70,6 +76,12 @@ class CyclicDistribution(Distribution):
         self._check_proc(p)
         full, extra = divmod(self.size, self.n_procs)
         return full + (1 if p < extra else 0)
+
+    def local_sizes(self) -> np.ndarray:
+        full, extra = divmod(self.size, self.n_procs)
+        sizes = np.full(self.n_procs, full, dtype=np.int64)
+        sizes[:extra] += 1
+        return sizes
 
 
 class BlockCyclicDistribution(Distribution):

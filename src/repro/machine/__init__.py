@@ -21,7 +21,13 @@ from repro.machine.topology import (
     make_topology,
 )
 from repro.machine.costmodel import CostModel, IPSC860, IDEALIZED, make_cost_model
-from repro.machine.stats import ProcessorStats, MachineStats, PhaseRecord
+from repro.machine.stats import (
+    CounterBlock,
+    ProcessorStats,
+    ProcessorStatsView,
+    MachineStats,
+    PhaseRecord,
+)
 from repro.machine.machine import Machine, Processor
 from repro.machine.trace import MessageTrace, MessageEvent
 from repro.machine.collectives import (
@@ -44,7 +50,9 @@ __all__ = [
     "IPSC860",
     "IDEALIZED",
     "make_cost_model",
+    "CounterBlock",
     "ProcessorStats",
+    "ProcessorStatsView",
     "MachineStats",
     "PhaseRecord",
     "Machine",

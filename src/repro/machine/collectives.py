@@ -33,16 +33,15 @@ def broadcast_cost(machine: Machine, nbytes: int, root: int = 0) -> float:
     if n == 1:
         return 0.0
     dt = _tree_depth(n) * machine.cost.message_time(nbytes)
-    for proc in machine.procs:
-        proc.stats.clock += dt
+    c = machine.counters
+    c.clock += dt
     # message counters: every non-root receives once; internal nodes send
-    for p in range(n):
-        st = machine.procs[p].stats
-        if p != root:
-            st.messages_received += 1
-            st.bytes_received += nbytes
-    machine.procs[root].stats.messages_sent += n - 1
-    machine.procs[root].stats.bytes_sent += (n - 1) * nbytes
+    recv = np.ones(n, dtype=np.int64)
+    recv[root] = 0
+    c.messages_received += recv
+    c.bytes_received += recv * nbytes
+    c.messages_sent[root] += n - 1
+    c.bytes_sent[root] += (n - 1) * nbytes
     machine.barrier()
     return dt
 
@@ -58,8 +57,7 @@ def reduce_cost(machine: Machine, nbytes: int, root: int = 0) -> float:
     words = nbytes / 8.0
     per_level = machine.cost.message_time(nbytes) + machine.cost.compute_time(flops=words)
     dt = _tree_depth(n) * per_level
-    for proc in machine.procs:
-        proc.stats.clock += dt
+    machine.counters.clock += dt
     machine.barrier()
     return dt
 
@@ -87,12 +85,12 @@ def allgather_cost(machine: Machine, nbytes_per_proc: int) -> float:
     for _ in range(rounds):
         dt += machine.cost.message_time(chunk)
         chunk *= 2
-    for proc in machine.procs:
-        proc.stats.clock += dt
-        proc.stats.messages_sent += rounds
-        proc.stats.messages_received += rounds
-        proc.stats.bytes_sent += (2**rounds - 1) * nbytes_per_proc
-        proc.stats.bytes_received += (2**rounds - 1) * nbytes_per_proc
+    c = machine.counters
+    c.clock += dt
+    c.messages_sent += rounds
+    c.messages_received += rounds
+    c.bytes_sent += (2**rounds - 1) * nbytes_per_proc
+    c.bytes_received += (2**rounds - 1) * nbytes_per_proc
     machine.barrier()
     return dt
 

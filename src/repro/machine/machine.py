@@ -8,7 +8,11 @@ boundary (``barrier``/``phase`` exit) all clocks jump to the maximum.
 
 The data itself lives in ``DistArray`` local segments (see
 ``repro.distribution.distarray``); the machine only tracks *time* and
-*counters*, which keeps the simulation deterministic and fast.
+*counters*, which keeps the simulation deterministic and fast.  Counters
+live in a struct-of-arrays :class:`~repro.machine.stats.CounterBlock`
+(``machine.counters``), so ``exchange`` and ``charge_compute_all`` are
+pure bincount/add.at/ufunc updates with no Python loop over processors;
+``machine.procs[p].stats`` remains a live per-processor view.
 """
 
 from __future__ import annotations
@@ -19,18 +23,23 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.machine.costmodel import CostModel, IPSC860
-from repro.machine.stats import MachineStats, PhaseRecord, ProcessorStats
+from repro.machine.stats import (
+    CounterBlock,
+    MachineStats,
+    PhaseRecord,
+    ProcessorStatsView,
+)
 from repro.machine.topology import Topology, make_topology
 
 
 class Processor:
-    """One virtual processor: a rank and its counters."""
+    """One virtual processor: a rank and a live view of its counters."""
 
     __slots__ = ("rank", "stats")
 
-    def __init__(self, rank: int):
+    def __init__(self, rank: int, counters: CounterBlock):
         self.rank = rank
-        self.stats = ProcessorStats()
+        self.stats = ProcessorStatsView(counters, rank)
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return f"Processor(rank={self.rank}, clock={self.stats.clock:.6f})"
@@ -69,8 +78,9 @@ class Machine:
                 f"topology is for {topology.n_procs} processors, machine has {self.n_procs}"
             )
         self.topology = topology
-        self.procs = [Processor(p) for p in range(self.n_procs)]
-        self.stats = MachineStats()
+        self.counters = CounterBlock(self.n_procs)
+        self.procs = [Processor(p, self.counters) for p in range(self.n_procs)]
+        self.stats = MachineStats(counters=self.counters)
         self._phase_depth = 0
 
     # ------------------------------------------------------------------
@@ -83,11 +93,11 @@ class Machine:
     def clock(self, p: int) -> float:
         """Current simulated time on processor ``p``."""
         self._check_rank(p)
-        return self.procs[p].stats.clock
+        return float(self.counters.clock[p])
 
     def elapsed(self) -> float:
         """Machine time so far: the maximum processor clock."""
-        return max(proc.stats.clock for proc in self.procs)
+        return float(self.counters.clock.max())
 
     def charge_compute(
         self, p: int, flops: float = 0.0, iops: float = 0.0, mem: float = 0.0
@@ -95,11 +105,11 @@ class Machine:
         """Charge local work to processor ``p``; returns the time charged."""
         self._check_rank(p)
         dt = self.cost.compute_time(flops=flops, iops=iops, mem=mem)
-        st = self.procs[p].stats
-        st.clock += dt
-        st.flops += flops
-        st.iops += iops
-        st.mem_ops += mem
+        c = self.counters
+        c.clock[p] += dt
+        c.flops[p] += flops
+        c.iops[p] += iops
+        c.mem_ops[p] += mem
         return dt
 
     def charge_compute_all(
@@ -110,21 +120,20 @@ class Machine:
     ) -> None:
         """Charge per-processor work vectors (scalars broadcast).
 
-        Accepts ndarrays, sequences, or scalars directly; the per-element
-        time conversion is one broadcasted expression rather than a
-        Python call per processor.
+        Accepts ndarrays, sequences, or scalars directly; both the time
+        conversion and the counter updates are whole-array operations --
+        no Python loop over processors.
         """
         n = self.n_procs
         fl = np.broadcast_to(np.asarray(flops, dtype=np.float64), (n,))
         io = np.broadcast_to(np.asarray(iops, dtype=np.float64), (n,))
         me = np.broadcast_to(np.asarray(mem, dtype=np.float64), (n,))
         dt = self.cost.compute_time_array(flops=fl, iops=io, mem=me)
-        for p in range(n):
-            st = self.procs[p].stats
-            st.clock += dt[p]
-            st.flops += fl[p]
-            st.iops += io[p]
-            st.mem_ops += me[p]
+        c = self.counters
+        c.clock += dt
+        c.flops += fl
+        c.iops += io
+        c.mem_ops += me
 
     # ------------------------------------------------------------------
     # communication primitives
@@ -145,13 +154,13 @@ class Machine:
             return self.charge_compute(src, mem=words)
         hops = self.topology.hops(src, dst)
         dt = self.cost.message_time(nbytes, hops)
-        s, d = self.procs[src].stats, self.procs[dst].stats
-        s.clock += dt
-        s.messages_sent += 1
-        s.bytes_sent += nbytes
-        d.clock += dt
-        d.messages_received += 1
-        d.bytes_received += nbytes
+        c = self.counters
+        c.clock[src] += dt
+        c.messages_sent[src] += 1
+        c.bytes_sent[src] += nbytes
+        c.clock[dst] += dt
+        c.messages_received[dst] += 1
+        c.bytes_received[dst] += nbytes
         return dt
 
     def exchange(
@@ -236,23 +245,14 @@ class Machine:
             bytes_sent = np.bincount(xsrc, weights=xbytes, minlength=n).astype(np.int64)
             bytes_recv = np.bincount(xdst, weights=xbytes, minlength=n).astype(np.int64)
 
-        touched = np.flatnonzero(
-            (clock_add != 0)
-            | (mem_add != 0)
-            | (send_time != 0)
-            | (recv_time != 0)
-            | (msg_sent != 0)
-            | (msg_recv != 0)
-        )
-        for p in touched:
-            st = self.procs[p].stats
-            st.clock += clock_add[p]
-            st.mem_ops += mem_add[p]
-            st.messages_sent += int(msg_sent[p])
-            st.bytes_sent += int(bytes_sent[p])
-            st.messages_received += int(msg_recv[p])
-            st.bytes_received += int(bytes_recv[p])
-            st.clock += send_time[p] + recv_time[p]
+        c = self.counters
+        c.clock += clock_add
+        c.mem_ops += mem_add
+        c.messages_sent += msg_sent
+        c.bytes_sent += bytes_sent
+        c.messages_received += msg_recv
+        c.bytes_received += bytes_recv
+        c.clock += send_time + recv_time
 
     def barrier(self) -> float:
         """Synchronize all clocks to the maximum plus a small sync cost."""
@@ -261,8 +261,7 @@ class Machine:
             # tree barrier: up + down sweep of tiny messages
             depth = max(1, (self.n_procs - 1).bit_length())
             t += 2 * depth * self.cost.alpha
-        for proc in self.procs:
-            proc.stats.clock = t
+        self.counters.clock[:] = t
         return t
 
     # ------------------------------------------------------------------
@@ -277,7 +276,7 @@ class Machine:
         """
         self.barrier()
         start = self.elapsed()
-        before = [proc.stats.snapshot() for proc in self.procs]
+        before = self.counters.copy()
         self._phase_depth += 1
         try:
             yield
@@ -285,10 +284,13 @@ class Machine:
             self._phase_depth -= 1
             self.barrier()
             end = self.elapsed()
-            per_proc = [
-                proc.stats.delta(before[p]) for p, proc in enumerate(self.procs)
-            ]
-            self.stats.add(PhaseRecord(name=name, elapsed=end - start, per_proc=per_proc))
+            self.stats.add(
+                PhaseRecord(
+                    name=name,
+                    elapsed=end - start,
+                    arrays=self.counters.delta(before),
+                )
+            )
 
     def phase_time(self, name: str) -> float:
         """Sum of elapsed time over phases with this name."""
@@ -296,8 +298,7 @@ class Machine:
 
     def reset(self) -> None:
         """Zero all clocks, counters, and phase records."""
-        for proc in self.procs:
-            proc.stats = ProcessorStats()
+        self.counters.reset()
         self.stats.clear()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic

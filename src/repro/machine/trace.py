@@ -4,6 +4,13 @@
 every point-to-point message; tests use it to assert on communication
 *patterns* (who talks to whom, symmetry of request/reply protocols) and
 the benches can render a processor-pair traffic matrix.
+
+Messages are recorded as array chunks (one ``(src, dst, nbytes)`` array
+triple per traced call), mirroring the machine's struct-of-arrays
+counter block: an ``exchange`` of 100k message pairs costs one masked
+array append, not 100k Python-object appends.  The ``events`` list of
+:class:`MessageEvent` objects is materialized lazily for callers that
+want per-message records.
 """
 
 from __future__ import annotations
@@ -34,9 +41,23 @@ class MessageTrace:
 
     def __init__(self, machine: Machine):
         self.machine = machine
-        self.events: list[MessageEvent] = []
+        #: list of (src, dst, nbytes) int64 array triples, one per traced
+        #: call, already filtered to real messages (src != dst, nbytes > 0)
+        self._chunks: list[tuple[np.ndarray, np.ndarray, np.ndarray]] = []
+        self._events_cache: list[MessageEvent] | None = []
         self._orig_send = None
         self._orig_exchange = None
+
+    def _record(self, src: np.ndarray, dst: np.ndarray, nbytes: np.ndarray) -> None:
+        live = (src != dst) & (nbytes > 0)
+        if not live.all():
+            src, dst, nbytes = src[live], dst[live], nbytes[live]
+        else:
+            # defensive copies: callers may reuse their buffers
+            src, dst, nbytes = src.copy(), dst.copy(), nbytes.copy()
+        if src.size:
+            self._chunks.append((src, dst, nbytes))
+            self._events_cache = None
 
     # -- context management -------------------------------------------------
     def __enter__(self) -> "MessageTrace":
@@ -47,21 +68,30 @@ class MessageTrace:
 
         def send(src, dst, nbytes):
             result = self._orig_send(src, dst, nbytes)
-            if src != dst and nbytes > 0:
-                self.events.append(MessageEvent(src, dst, nbytes))
+            self._record(
+                np.array([src], dtype=np.int64),
+                np.array([dst], dtype=np.int64),
+                np.array([nbytes], dtype=np.int64),
+            )
             return result
 
         def exchange(bytes_matrix=None, *, src=None, dst=None, nbytes=None):
             array_args = (src, dst, nbytes)
             if bytes_matrix is not None and all(a is None for a in array_args):
-                for (s, d), nb in bytes_matrix.items():
-                    if s != d and nb > 0:
-                        self.events.append(MessageEvent(s, d, nb))
+                count = len(bytes_matrix)
+                s = np.empty(count, dtype=np.int64)
+                d = np.empty(count, dtype=np.int64)
+                nb = np.empty(count, dtype=np.int64)
+                for i, ((a, b), v) in enumerate(bytes_matrix.items()):
+                    s[i], d[i], nb[i] = a, b, v
+                self._record(s, d, nb)
                 return self._orig_exchange(bytes_matrix)
             if bytes_matrix is None and all(a is not None for a in array_args):
-                for s, d, nb in zip(src, dst, nbytes):
-                    if s != d and nb > 0:
-                        self.events.append(MessageEvent(int(s), int(d), int(nb)))
+                self._record(
+                    np.asarray(src, dtype=np.int64),
+                    np.asarray(dst, dtype=np.int64),
+                    np.asarray(nbytes, dtype=np.int64),
+                )
                 return self._orig_exchange(src=src, dst=dst, nbytes=nbytes)
             # invalid combination: record nothing, let the machine raise
             return self._orig_exchange(bytes_matrix, src=src, dst=dst, nbytes=nbytes)
@@ -77,23 +107,41 @@ class MessageTrace:
         self._orig_exchange = None
 
     # -- queries ------------------------------------------------------------
+    @property
+    def events(self) -> list[MessageEvent]:
+        """Per-message records, in trace order (materialized lazily)."""
+        if self._events_cache is None:
+            self._events_cache = [
+                MessageEvent(int(s), int(d), int(nb))
+                for src, dst, nbytes in self._chunks
+                for s, d, nb in zip(src, dst, nbytes)
+            ]
+        return self._events_cache
+
     def message_count(self) -> int:
-        return len(self.events)
+        return sum(chunk[0].size for chunk in self._chunks)
 
     def total_bytes(self) -> int:
-        return sum(e.nbytes for e in self.events)
+        return int(sum(int(chunk[2].sum()) for chunk in self._chunks))
 
     def traffic_matrix(self) -> np.ndarray:
         """(P, P) byte totals, [src, dst]."""
         n = self.machine.n_procs
         out = np.zeros((n, n), dtype=np.int64)
-        for e in self.events:
-            out[e.src, e.dst] += e.nbytes
+        for src, dst, nbytes in self._chunks:
+            np.add.at(out, (src, dst), nbytes)
         return out
 
     def pairs(self) -> set[tuple[int, int]]:
         """Distinct communicating (src, dst) pairs."""
-        return {(e.src, e.dst) for e in self.events}
+        if not self._chunks:
+            return set()
+        n = self.machine.n_procs
+        keys = np.concatenate(
+            [src * n + dst for src, dst, _ in self._chunks]
+        )
+        uniq = np.unique(keys)
+        return {(int(k) // n, int(k) % n) for k in uniq}
 
     def render(self, unit: int = 1024) -> str:
         """Text heat map of the traffic matrix (units of ``unit`` bytes)."""

@@ -110,6 +110,39 @@ class TestCosts:
             )
             assert m_batch.procs[p].stats.bytes_sent == m_serial.procs[p].stats.bytes_sent
 
+    @pytest.mark.parametrize("seed", [3, 4, 5])
+    def test_batched_equals_non_batched_results_and_traffic(self, seed):
+        """Both dereference paths share the paged-request kernel: identical
+        translations and identical per-pair request/reply traffic on
+        randomized reference lists (duplicates and gaps included)."""
+        rng = np.random.default_rng(seed)
+        n_procs, size = 8, 150
+        dist = random_irregular(size, n_procs, seed=seed)
+        refs = [
+            rng.integers(0, size, size=int(rng.integers(0, 80))).astype(np.int64)
+            for _ in range(n_procs)
+        ]
+        m_serial = Machine(n_procs)
+        tt_serial = DistributedTranslationTable(m_serial, dist)
+        m_serial.reset()
+        serial = [tt_serial.dereference(p, refs[p]) for p in range(n_procs)]
+
+        m_batch = Machine(n_procs)
+        tt_batch = DistributedTranslationTable(m_batch, dist)
+        m_batch.reset()
+        batched = tt_batch.dereference_all(refs)
+
+        for p in range(n_procs):
+            np.testing.assert_array_equal(serial[p][0], batched[p][0])
+            np.testing.assert_array_equal(serial[p][1], batched[p][1])
+            np.testing.assert_array_equal(serial[p][0], dist.owner(refs[p]))
+            np.testing.assert_array_equal(serial[p][1], dist.local_index(refs[p]))
+            st_s, st_b = m_serial.procs[p].stats, m_batch.procs[p].stats
+            assert st_s.messages_sent == st_b.messages_sent
+            assert st_s.messages_received == st_b.messages_received
+            assert st_s.bytes_sent == st_b.bytes_sent
+            assert st_s.bytes_received == st_b.bytes_received
+
 
 class TestFactory:
     def test_auto_regular(self, m4):

@@ -63,6 +63,64 @@ class TestBasics:
         assert "4" in text  # 4 KiB
 
 
+class TestArrayChunkEquivalence:
+    """The trace records array chunks; every query must match a naive
+    per-message Python accumulation over the same operation sequence."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2])
+    def test_randomized_trace_matches_naive(self, seed):
+        rng = np.random.default_rng(seed)
+        n = 8
+        m = Machine(n)
+        naive_events = []
+        with MessageTrace(m) as t:
+            for _ in range(30):
+                kind = rng.choice(["send", "exchange_arrays", "exchange_dict"])
+                if kind == "send":
+                    s, d = int(rng.integers(n)), int(rng.integers(n))
+                    nb = int(rng.integers(0, 500))
+                    m.send(s, d, nb)
+                    if s != d and nb > 0:
+                        naive_events.append((s, d, nb))
+                else:
+                    k = int(rng.integers(0, 2 * n))
+                    src = rng.integers(0, n, k)
+                    dst = rng.integers(0, n, k)
+                    nb = rng.integers(0, 300, k)
+                    if kind == "exchange_dict":
+                        mat = {}
+                        for s, d, v in zip(src, dst, nb):
+                            mat[(int(s), int(d))] = int(v)
+                        m.exchange(mat)
+                        pairs = mat.items()
+                    else:
+                        m.exchange(src=src, dst=dst, nbytes=nb)
+                        pairs = [
+                            ((int(s), int(d)), int(v))
+                            for s, d, v in zip(src, dst, nb)
+                        ]
+                    for (s, d), v in pairs:
+                        if s != d and v > 0:
+                            naive_events.append((s, d, v))
+        assert [(e.src, e.dst, e.nbytes) for e in t.events] == naive_events
+        assert t.message_count() == len(naive_events)
+        assert t.total_bytes() == sum(nb for _, _, nb in naive_events)
+        assert t.pairs() == {(s, d) for s, d, _ in naive_events}
+        expected = np.zeros((n, n), dtype=np.int64)
+        for s, d, nb in naive_events:
+            expected[s, d] += nb
+        np.testing.assert_array_equal(t.traffic_matrix(), expected)
+
+    def test_events_cache_invalidated_by_new_traffic(self):
+        m = Machine(2)
+        with MessageTrace(m) as t:
+            m.send(0, 1, 10)
+            first = t.events
+            assert len(first) == 1
+            m.send(1, 0, 20)
+            assert [(e.src, e.dst) for e in t.events] == [(0, 1), (1, 0)]
+
+
 class TestProtocolPatterns:
     def test_distributed_ttable_request_reply_symmetry(self):
         """Every dereference request message has a matching reply on the
