@@ -2,24 +2,30 @@
 
 Unlike every other bench (which reports *simulated* machine time), this
 one tracks how fast the *simulator itself* runs -- the metric the
-flattened-schedule / array-exchange vectorization optimizes.  It runs
-the P=64/128/256 Euler no-reuse scenario (50k nodes, 20 executor
-iterations, RCB) and writes ``benchmarks/out/BENCH_simspeed.json`` so
-future PRs can track the simulator's own performance trajectory.
+flattened-schedule / array-exchange / flat-DistArray vectorization
+optimizes.  It runs the P=64/128/256/512 Euler no-reuse scenario (50k
+nodes, 20 executor iterations, RCB) and writes
+``benchmarks/out/BENCH_simspeed.json`` so future PRs can track the
+simulator's own performance trajectory.
 
 Reference points on this host (2026-07), P=256 scenario:
 
 * per-pair message loops (seed): ~44.3s
 * flattened CSR schedules + array exchange (PR 1): ~6.5s
 * struct-of-arrays Machine counter block + flattened remap (PR 2): ~6.0s
+* flat segmented DistArray storage + versioned global views (PR 3): ~4.2s
 
-Run standalone (``python benchmarks/bench_simspeed.py``) or under
-pytest (``pytest benchmarks/bench_simspeed.py``).
+Run standalone (``python benchmarks/bench_simspeed.py [P ...]
+[--profile]``) or under pytest (``pytest benchmarks/bench_simspeed.py``).
+``--profile`` additionally dumps a cProfile pstats file per run to
+``benchmarks/out/simspeed_P{n}.pstats`` for offline inspection
+(``python -m pstats``).
 """
 
+import argparse
+import cProfile
 import json
 import os
-import sys
 import time
 
 OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
@@ -28,15 +34,26 @@ JSON_PATH = os.path.join(OUT_DIR, "BENCH_simspeed.json")
 
 N_NODES = 50000
 ITERATIONS = 20
-PROC_COUNTS = [64, 128, 256]
+PROC_COUNTS = [64, 128, 256, 512]
 
 #: implementation generation recorded in the JSON so the trajectory of
 #: the simulator's own performance stays attributable across PRs
-IMPLEMENTATION = "soa-counter-block"
+IMPLEMENTATION = "flat-distarray"
 
 
-def run_simspeed(proc_counts=PROC_COUNTS, n_nodes=N_NODES, iterations=ITERATIONS):
-    """Time one run per processor count; returns the result record."""
+def run_simspeed(
+    proc_counts=PROC_COUNTS,
+    n_nodes=N_NODES,
+    iterations=ITERATIONS,
+    profile=False,
+):
+    """Time one run per processor count; returns the result record.
+
+    With ``profile=True``, each run additionally executes under cProfile
+    and dumps ``simspeed_P{n}.pstats`` next to the JSON report (the
+    profiled run is separate from the timed one, so recorded wall
+    seconds stay free of profiler overhead).
+    """
     from repro.bench.harness import run_euler_experiment
     from repro.workloads.mesh import generate_mesh
 
@@ -57,16 +74,32 @@ def run_simspeed(proc_counts=PROC_COUNTS, n_nodes=N_NODES, iterations=ITERATIONS
             seed=0,
         )
         wall = time.perf_counter() - t0
-        scenarios.append(
-            {
-                "n_procs": n_procs,
-                "wall_seconds": round(wall, 3),
-                "simulated_total": res.total,
-                "simulated_phases": {k: v for k, v in res.phases.items()},
-                "messages": res.meta["messages"],
-                "bytes": res.meta["bytes"],
-            }
-        )
+        record = {
+            "n_procs": n_procs,
+            "wall_seconds": round(wall, 3),
+            "simulated_total": res.total,
+            "simulated_phases": {k: v for k, v in res.phases.items()},
+            "messages": res.meta["messages"],
+            "bytes": res.meta["bytes"],
+        }
+        if profile:
+            os.makedirs(OUT_DIR, exist_ok=True)
+            pstats_path = os.path.join(OUT_DIR, f"simspeed_P{n_procs}.pstats")
+            pr = cProfile.Profile()
+            pr.enable()
+            run_euler_experiment(
+                mesh,
+                n_procs=n_procs,
+                partitioner="RCB",
+                path="compiler",
+                reuse=False,
+                iterations=iterations,
+                seed=0,
+            )
+            pr.disable()
+            pr.dump_stats(pstats_path)
+            record["pstats"] = os.path.relpath(pstats_path, OUT_DIR)
+        scenarios.append(record)
     return {
         "scenario": "euler_edge_sweep_no_reuse",
         "implementation": IMPLEMENTATION,
@@ -100,9 +133,30 @@ def test_simspeed():
     assert worst < 300.0, f"simulator pathologically slow: {worst}s for one scenario"
 
 
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Simulator self-performance benchmark."
+    )
+    parser.add_argument(
+        "proc_counts",
+        nargs="*",
+        type=int,
+        default=None,
+        help=f"processor counts to run (default: {PROC_COUNTS})",
+    )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="also run each scenario under cProfile and dump "
+        "benchmarks/out/simspeed_P{n}.pstats",
+    )
+    return parser.parse_args(argv)
+
+
 if __name__ == "__main__":
+    args = _parse_args()
     record = run_simspeed(
-        proc_counts=[int(a) for a in sys.argv[1:]] or PROC_COUNTS
+        proc_counts=args.proc_counts or PROC_COUNTS, profile=args.profile
     )
     path = write_report(record)
     print(json.dumps(record, indent=2))

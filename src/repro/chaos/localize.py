@@ -14,6 +14,12 @@ reference, ``localize``
 5. builds the :class:`~repro.chaos.schedule.CommSchedule` that fetches
    the ghost elements.
 
+Reference lists travel in **flat form**: one concatenated value array
+plus CSR bounds (:class:`FlatRefs`), so the whole localize pass — one
+``dereference_flat`` translation included — runs on single arrays with
+no per-processor concatenation or Python loop.  Plain per-processor
+lists are still accepted and flattened once at entry.
+
 The cost charged mirrors what PARTI's hashed implementation did per
 reference: a hash probe per reference, an insert per unique off-processor
 element, schedule assembly per unique element, and a request exchange
@@ -27,14 +33,22 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.flatrefs import FlatRefs
 from repro.chaos.schedule import CommSchedule
 from repro.chaos.ttable import TranslationTable
 from repro.machine.machine import Machine
+
+__all__ = ["FlatRefs", "LocalizeResult", "localize"]
 
 
 @dataclass
 class LocalizeResult:
     """Everything an executor needs for one access pattern.
+
+    The canonical storage is flat (``refs_flat`` + ``ref_bounds``,
+    ``ghost_flat`` + ``ghost_bounds``); the per-processor ``local_refs``
+    and ``ghost_globals`` lists are zero-copy views into it, kept for
+    the executor's per-processor compute loop and for tests.
 
     Attributes
     ----------
@@ -50,12 +64,20 @@ class LocalizeResult:
         distribution (the local/ghost boundary).
     schedule:
         The communication schedule that fills the ghost buffers.
+    refs_flat / ref_bounds:
+        Flat CSR form of ``local_refs``.
+    ghost_flat / ghost_bounds:
+        Flat CSR form of ``ghost_globals``.
     """
 
     local_refs: list[np.ndarray]
     ghost_globals: list[np.ndarray]
     local_sizes: list[int]
     schedule: CommSchedule
+    refs_flat: np.ndarray | None = None
+    ref_bounds: np.ndarray | None = None
+    ghost_flat: np.ndarray | None = None
+    ghost_bounds: np.ndarray | None = None
 
     def split(self, p: int) -> tuple[np.ndarray, np.ndarray]:
         """Boolean masks (is_local, is_ghost) for processor ``p``'s refs."""
@@ -67,7 +89,7 @@ class LocalizeResult:
 def localize(
     machine: Machine,
     ttable: TranslationTable,
-    ref_lists: list[np.ndarray],
+    ref_lists: "list[np.ndarray] | FlatRefs",
     costs: ChaosCosts = DEFAULT_COSTS,
 ) -> LocalizeResult:
     """Run the localize primitive for one access pattern.
@@ -79,39 +101,21 @@ def localize(
     ttable:
         Translation table of the *data* array's distribution.
     ref_lists:
-        ``ref_lists[p]`` is the array of global indices processor ``p``'s
-        iterations dereference (repeats allowed and common).
+        The global indices each processor's iterations dereference
+        (repeats allowed and common): either a :class:`FlatRefs` or a
+        per-processor list of arrays.
     """
     n = machine.n_procs
-    if len(ref_lists) != n:
-        raise ValueError(f"expected {n} reference lists, got {len(ref_lists)}")
+    refs = FlatRefs.from_lists(ref_lists)
+    if refs.n_procs != n:
+        raise ValueError(f"expected {n} reference lists, got {refs.n_procs}")
     dist = ttable.dist
-    ref_arrays = [np.asarray(r, dtype=np.int64) for r in ref_lists]
-    translations = ttable.dereference_all(ref_arrays)
+    flat_refs = refs.values
+    sizes = refs.sizes()
+    total = int(flat_refs.size)
+    flat_owner, flat_lidx = ttable.dereference_flat(flat_refs, refs.bounds)
 
-    local_sizes = [dist.local_size(p) for p in range(n)]
-    send_lists: dict[tuple[int, int], np.ndarray] = {}
-    recv_slots: dict[tuple[int, int], np.ndarray] = {}
-    req_counts = np.zeros((n, n), dtype=np.int64)
-
-    # flatten every processor's reference list into one array and do the
-    # translate/dedup/slot-assignment work for all processors at once --
-    # per-processor results are recovered as (contiguous) segments
-    sizes = np.asarray([r.size for r in ref_arrays], dtype=np.int64)
-    total = int(sizes.sum())
-    flat_refs = (
-        np.concatenate(ref_arrays) if total else np.empty(0, dtype=np.int64)
-    )
-    flat_owner = (
-        np.concatenate([t[0] for t in translations])
-        if total
-        else np.empty(0, dtype=np.int64)
-    )
-    flat_lidx = (
-        np.concatenate([t[1] for t in translations])
-        if total
-        else np.empty(0, dtype=np.int64)
-    )
+    local_sizes_arr = dist.local_sizes()
     flat_pid = np.repeat(np.arange(n, dtype=np.int64), sizes)
 
     off = flat_owner != flat_pid
@@ -137,9 +141,8 @@ def localize(
     # off-processor references become local_size + ghost slot
     localized_flat = np.empty(total, dtype=np.int64)
     localized_flat[~off] = flat_lidx[~off]
-    local_sizes_arr = np.asarray(local_sizes, dtype=np.int64)
     localized_flat[off] = local_sizes_arr[flat_pid[off]] + slots[inverse]
-    ref_bounds = np.concatenate(([0], np.cumsum(sizes)))
+    ref_bounds = refs.bounds
     local_refs = [
         localized_flat[ref_bounds[p] : ref_bounds[p + 1]] for p in range(n)
     ]
@@ -153,16 +156,20 @@ def localize(
     )
     order = np.argsort(upid * n + uowners, kind="stable")
     pair_keys = upid[order] * n + uowners[order]
-    seg_keys, seg_starts = np.unique(pair_keys, return_index=True)
+    # pair boundaries on the already-sorted keys (no second sort)
+    if pair_keys.size:
+        seg_starts = np.concatenate(
+            ([0], np.flatnonzero(np.diff(pair_keys)) + 1)
+        )
+    else:
+        seg_starts = np.empty(0, dtype=np.int64)
+    seg_keys = pair_keys[seg_starts] if pair_keys.size else pair_keys
     seg_bounds = np.append(seg_starts, order.size)
+    pair_counts = np.diff(seg_bounds)
+    pair_p = seg_keys // n
+    pair_q = seg_keys % n
     sorted_lidx = ulidx[order]
     sorted_slots = slots[order]
-    for i, key in enumerate(seg_keys):
-        p, q = divmod(int(key), n)
-        lo, hi = seg_bounds[i], seg_bounds[i + 1]
-        send_lists[(q, p)] = sorted_lidx[lo:hi]
-        recv_slots[(q, p)] = sorted_slots[lo:hi]
-        req_counts[p, q] = hi - lo
 
     # charge inspector integer work per processor: one hash probe per
     # reference, an insert per unique ghost, schedule build + buffer
@@ -180,28 +187,38 @@ def localize(
 
     # request exchange: each requester tells each owner which local
     # elements to send (index lists on the wire); owners then record
-    # their send lists
-    off_diag = req_counts.copy()
-    np.fill_diagonal(off_diag, 0)
-    req_p, req_q = np.nonzero(off_diag)
+    # their send lists.  Pairs are already requester-major / owner-minor
+    # ascending — the same order the dense-matrix nonzero scan produced.
+    cross = pair_p != pair_q
     machine.exchange(
-        src=req_p, dst=req_q, nbytes=off_diag[req_p, req_q] * costs.index_bytes
+        src=pair_p[cross],
+        dst=pair_q[cross],
+        nbytes=pair_counts[cross] * costs.index_bytes,
     )
-    owner_record = req_counts.sum(axis=0).astype(float)
+    owner_record = np.bincount(
+        pair_q, weights=pair_counts.astype(np.float64), minlength=n
+    )
     machine.charge_compute_all(iops=costs.schedule_build * owner_record)
     machine.barrier()
 
-    schedule = CommSchedule(
+    schedule = CommSchedule.from_flat(
         machine,
         dist.signature(),
-        send_lists,
-        recv_slots,
+        pair_q,
+        pair_p,
+        pair_counts,
+        sorted_lidx,
+        sorted_slots,
         ghost_sizes,
         costs=costs,
     )
     return LocalizeResult(
         local_refs=local_refs,
         ghost_globals=ghost_globals,
-        local_sizes=local_sizes,
+        local_sizes=[int(s) for s in local_sizes_arr],
         schedule=schedule,
+        refs_flat=localized_flat,
+        ref_bounds=ref_bounds,
+        ghost_flat=ugidx,
+        ghost_bounds=ghost_bounds,
     )

@@ -8,10 +8,11 @@ shares one :class:`RemapSchedule`.
 
 Like ``CommSchedule``, the move set is stored flattened (CSR-style):
 one (src proc, dst proc, count) triple per communicating pair plus
-concatenated old/new local-offset arrays, with precomputed groupings by
-sender and receiver.  ``apply`` and ``build_remap_schedule`` therefore
-run one fancy-index per processor and pure bincount/ufunc charging --
-no Python loop over move pairs.
+concatenated old/new local-offset arrays, resolved once to *flat
+backing positions* against the old/new distributions.  ``apply`` is a
+single gather + scatter fancy-index over the arrays' contiguous backing
+storage and pure bincount/ufunc charging -- no Python loop over move
+pairs or processors.
 """
 
 from __future__ import annotations
@@ -82,13 +83,14 @@ class RemapSchedule:
         self.pair_counts = pair_counts
         self.src_index = src_index
         self.dst_index = dst_index
-        # element -> pair proc maps, grouped by sender and by receiver so
-        # apply() runs one gather fancy-index per source processor and one
-        # scatter fancy-index per destination processor
+        # flat backing positions: the destination side is known now (the
+        # new distribution is in hand); the source side is resolved on
+        # first apply() from the array's current (old) distribution
         elem_p = np.repeat(pair_p, pair_counts)
         elem_q = np.repeat(pair_q, pair_counts)
-        self._send_procs, self._send_order, self._send_bounds = _group_elements(elem_p)
-        self._recv_procs, self._recv_order, self._recv_bounds = _group_elements(elem_q)
+        self._elem_p = elem_p
+        self._dst_pos = new_dist.flat_offsets()[elem_q] + dst_index
+        self._src_pos: np.ndarray | None = None
 
     @property
     def moves(self) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
@@ -122,18 +124,15 @@ class RemapSchedule:
             )
         m = self.machine
         n = m.n_procs
-        sizes = self.new_dist.local_sizes()
-        new_locals = [np.empty(sizes[p], dtype=arr.dtype) for p in range(n)]
 
-        # gather every moved value with one fancy-index per source proc,
-        # then scatter with one fancy-index per destination proc
-        vals = np.empty(self.src_index.size, dtype=arr.dtype)
-        for i, p in enumerate(self._send_procs):
-            idx = self._send_order[self._send_bounds[i] : self._send_bounds[i + 1]]
-            vals[idx] = arr.local(int(p))[self.src_index[idx]]
-        for i, q in enumerate(self._recv_procs):
-            idx = self._recv_order[self._recv_bounds[i] : self._recv_bounds[i + 1]]
-            new_locals[int(q)][self.dst_index[idx]] = vals[idx]
+        # gather every moved value and scatter it to its new flat
+        # position in two fancy-indexes over the backing arrays
+        if self._src_pos is None:
+            self._src_pos = (
+                arr.distribution.flat_offsets()[self._elem_p] + self.src_index
+            )
+        new_data = np.empty(self.new_dist.size, dtype=arr.dtype)
+        new_data[self._dst_pos] = arr.backing_ro[self._src_pos]
 
         pack_w = costs.pack_unpack_mem * self.pair_counts
         pack = np.bincount(self.pair_p, weights=pack_w, minlength=n)
@@ -145,7 +144,7 @@ class RemapSchedule:
             nbytes=self.pair_counts * arr.itemsize,
         )
         m.charge_compute_all(mem=unpack)
-        arr.rebind(self.new_dist, new_locals)
+        arr.rebind_flat(self.new_dist, new_data)
 
 
 def build_remap_schedule(

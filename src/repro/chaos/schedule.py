@@ -16,11 +16,16 @@ the owners afterwards (writes / reductions) -- PARTI's
 
 Internally the per-pair lists are flattened once, at construction, into
 CSR-style arrays grouped by owner (pack side) and by requester (unpack
-side).  Applying the schedule then costs one fancy-index per *processor*
-and at most one ``ufunc.at`` per owner -- never a Python loop over
-message pairs.  Element order inside the flat arrays is pair insertion
-order, so duplicate-slot semantics (last writer wins) and floating-point
-accumulation order are identical to the historical per-pair loop.
+side); hot callers construct directly from flat arrays via
+:meth:`CommSchedule.from_flat` (the pair dicts become lazy compat
+views).  The array side of an application is then *one* fancy-index
+over the ``DistArray``'s flat backing storage (pack, scatter store, or
+a single ``ufunc.at`` for reductions); only the ghost-buffer unpack
+still walks receiving processors.  Element order inside the flat arrays
+is pair insertion order and pack positions are grouped by owner
+ascending, so duplicate-slot semantics (last writer wins) and
+floating-point accumulation order are identical to the historical
+per-pair loop.
 
 A schedule is *bound to a distribution signature*: applying it to an
 array whose distribution has changed since inspection is a hard error
@@ -58,26 +63,18 @@ class CommSchedule:
             raise ValueError("send_lists and recv_slots must cover the same pairs")
         self.machine = machine
         self.dist_signature = dist_signature
-        self.send_lists = {k: np.asarray(v, dtype=np.int64) for k, v in send_lists.items()}
-        self.recv_slots = {k: np.asarray(v, dtype=np.int64) for k, v in recv_slots.items()}
+        self._send_dict = {
+            k: np.asarray(v, dtype=np.int64) for k, v in send_lists.items()
+        }
+        self._recv_dict = {
+            k: np.asarray(v, dtype=np.int64) for k, v in recv_slots.items()
+        }
         self.ghost_sizes = [int(s) for s in ghost_sizes]
         self.costs = costs
-        self._build_flat()
 
-    def _build_flat(self) -> None:
-        """Flatten the pair dicts into CSR-style apply arrays.
-
-        Nonempty pairs keep their dict insertion order; per-element flat
-        order is pair order with each pair's elements contiguous.  The
-        pack side groups elements by owner ``q`` (stable, so each owner's
-        segment stays in pair order); the unpack side keeps per-requester
-        element positions in flat order.
-        """
-        n = self.machine.n_procs
-        ghost_sz = np.asarray(self.ghost_sizes, dtype=np.int64)
         pairs = [
-            (q, p, sl, self.recv_slots[(q, p)])
-            for (q, p), sl in self.send_lists.items()
+            (q, p, sl, self._recv_dict[(q, p)])
+            for (q, p), sl in self._send_dict.items()
         ]
         pair_q = np.asarray([q for q, _, _, _ in pairs], dtype=np.int64)
         pair_p = np.asarray([p for _, p, _, _ in pairs], dtype=np.int64)
@@ -93,19 +90,109 @@ class CommSchedule:
                 raise ValueError(
                     f"pair ({q}, {p}): {len(sl)} sends but {len(rs)} recv slots"
                 )
-        live = pair_len > 0
-        #: per-message arrays in pair insertion order (nonempty pairs only)
-        self._pair_q = pair_q[live]
-        self._pair_p = pair_p[live]
-        self._pair_len = pair_len[live]
-        live_pairs = [pr for pr, keep in zip(pairs, live) if keep]
-
-        if live_pairs:
-            flat_send = np.concatenate([sl for _, _, sl, _ in live_pairs])
-            flat_recv = np.concatenate([rs for _, _, _, rs in live_pairs])
+        if pairs:
+            flat_send = np.concatenate([sl for _, _, sl, _ in pairs])
+            flat_recv = np.concatenate([rs for _, _, _, rs in pairs])
         else:
             flat_send = np.empty(0, dtype=np.int64)
             flat_recv = np.empty(0, dtype=np.int64)
+        self._init_flat(pair_q, pair_p, pair_len, flat_send, flat_recv)
+
+    @classmethod
+    def from_flat(
+        cls,
+        machine: Machine,
+        dist_signature: tuple,
+        pair_q: np.ndarray,
+        pair_p: np.ndarray,
+        pair_len: np.ndarray,
+        flat_send: np.ndarray,
+        flat_recv: np.ndarray,
+        ghost_sizes: list[int],
+        costs: ChaosCosts = DEFAULT_COSTS,
+    ) -> "CommSchedule":
+        """Construct directly from flat pair-grouped arrays (no dicts).
+
+        ``pair_q``/``pair_p``/``pair_len`` describe the communicating
+        pairs in insertion order; ``flat_send``/``flat_recv`` concatenate
+        each pair's local offsets / ghost slots in that order.  The
+        ``send_lists``/``recv_slots`` dict views are materialized lazily
+        for introspection and tests.
+        """
+        n = machine.n_procs
+        if len(ghost_sizes) != n:
+            raise ValueError(f"expected {n} ghost sizes, got {len(ghost_sizes)}")
+        self = cls.__new__(cls)
+        self.machine = machine
+        self.dist_signature = dist_signature
+        self._send_dict = None
+        self._recv_dict = None
+        self.ghost_sizes = [int(s) for s in ghost_sizes]
+        self.costs = costs
+        self._init_flat(
+            np.asarray(pair_q, dtype=np.int64),
+            np.asarray(pair_p, dtype=np.int64),
+            np.asarray(pair_len, dtype=np.int64),
+            np.asarray(flat_send, dtype=np.int64),
+            np.asarray(flat_recv, dtype=np.int64),
+        )
+        return self
+
+    def _pair_dicts(self) -> tuple[dict, dict]:
+        if self._send_dict is None:
+            send: dict[tuple[int, int], np.ndarray] = {}
+            recv: dict[tuple[int, int], np.ndarray] = {}
+            starts = np.concatenate(([0], np.cumsum(self._pair_len)))
+            for i in range(self._pair_q.size):
+                key = (int(self._pair_q[i]), int(self._pair_p[i]))
+                send[key] = self._flat_send[starts[i] : starts[i + 1]]
+                recv[key] = self._flat_recv[starts[i] : starts[i + 1]]
+            self._send_dict = send
+            self._recv_dict = recv
+        return self._send_dict, self._recv_dict
+
+    @property
+    def send_lists(self) -> dict[tuple[int, int], np.ndarray]:
+        """(owner, requester) -> local offsets owner packs (compat view)."""
+        return self._pair_dicts()[0]
+
+    @property
+    def recv_slots(self) -> dict[tuple[int, int], np.ndarray]:
+        """(owner, requester) -> ghost slots at the requester (compat view)."""
+        return self._pair_dicts()[1]
+
+    def _init_flat(
+        self,
+        pair_q: np.ndarray,
+        pair_p: np.ndarray,
+        pair_len: np.ndarray,
+        flat_send: np.ndarray,
+        flat_recv: np.ndarray,
+    ) -> None:
+        """Build the CSR-style apply arrays from pair-grouped flat input.
+
+        Nonempty pairs keep their insertion order; per-element flat
+        order is pair order with each pair's elements contiguous.  The
+        pack side groups elements by owner ``q`` (stable, so each owner's
+        segment stays in pair order); the unpack side keeps per-requester
+        element positions in flat order.
+        """
+        n = self.machine.n_procs
+        ghost_sz = np.asarray(self.ghost_sizes, dtype=np.int64)
+        live = pair_len > 0
+        #: per-message arrays in pair insertion order (nonempty pairs
+        #: only; empty pairs contribute no elements, so the flat arrays
+        #: need no filtering)
+        if live.all():
+            self._pair_q = pair_q
+            self._pair_p = pair_p
+            self._pair_len = pair_len
+        else:
+            self._pair_q = pair_q[live]
+            self._pair_p = pair_p[live]
+            self._pair_len = pair_len[live]
+        self._flat_send = flat_send
+        self._flat_recv = flat_recv
         flat_q = np.repeat(self._pair_q, self._pair_len)
         flat_p = np.repeat(self._pair_p, self._pair_len)
         if flat_p.size:
@@ -121,8 +208,10 @@ class CommSchedule:
         wire_perm = np.argsort(flat_q, kind="stable")
         self._pack_idx = flat_send[wire_perm]
         owner_counts = np.bincount(flat_q, minlength=n) if flat_q.size else np.zeros(n, dtype=np.int64)
-        self._pack_offsets = np.concatenate(([0], np.cumsum(owner_counts)))
-        self._pack_owners = np.flatnonzero(owner_counts)
+        #: owner of each packed element (wire order); flat backing
+        #: positions are resolved lazily against the bound distribution
+        self._pack_owner_rep = np.repeat(np.arange(n, dtype=np.int64), owner_counts)
+        self._pack_pos: np.ndarray | None = None
 
         # unpack side: per requester p, ghost slots in flat (pair) order
         # plus the wire positions holding their data
@@ -187,12 +276,22 @@ class CommSchedule:
     # ------------------------------------------------------------------
     # flat data movement (shared with merged-communication paths)
     # ------------------------------------------------------------------
+    def _pack_positions(self, arr: DistArray) -> np.ndarray:
+        """Flat backing positions of the packed elements (wire order).
+
+        Valid for every array bound to this schedule's distribution
+        signature (``_check_array`` enforces that), so the resolution is
+        cached after the first application.
+        """
+        if self._pack_pos is None:
+            off = arr.distribution.flat_offsets()
+            self._pack_pos = off[self._pack_owner_rep] + self._pack_idx
+        return self._pack_pos
+
     def _move_gather(self, arr: DistArray, ghosts: list[np.ndarray]) -> None:
         """Pack owners' elements onto the wire, unpack into ghost buffers."""
-        wire = np.empty(self._n_elements, dtype=arr.dtype)
-        off = self._pack_offsets
-        for q in self._pack_owners:
-            wire[off[q] : off[q + 1]] = arr.local(q)[self._pack_idx[off[q] : off[q + 1]]]
+        # one fancy-index over the flat backing packs every owner at once
+        wire = arr.backing_ro[self._pack_positions(arr)]
         off = self._unpack_offsets
         for p in self._unpack_procs:
             seg = slice(off[p], off[p + 1])
@@ -210,13 +309,15 @@ class CommSchedule:
         for p in self._unpack_procs:
             seg = slice(off[p], off[p + 1])
             wire[self._unpack_src[seg]] = ghosts[p][self._unpack_dst[seg]]
-        off = self._pack_offsets
-        for q in self._pack_owners:
-            seg = slice(off[q], off[q + 1])
-            if op is None:
-                arr.local(q)[self._pack_idx[seg]] = wire[seg]
-            else:
-                op.at(arr.local(q), self._pack_idx[seg], wire[seg])
+        # one store/combine over the flat backing: positions are grouped
+        # by owner ascending (pack order), so duplicate-slot and
+        # accumulation order match the historical per-owner loop
+        pos = self._pack_positions(arr)
+        data = arr.backing_mut()
+        if op is None:
+            data[pos] = wire
+        else:
+            op.at(data, pos, wire)
 
     def _wire_bytes(self, itemsize: int) -> np.ndarray:
         return self._pair_len * itemsize

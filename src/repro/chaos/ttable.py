@@ -25,6 +25,7 @@ from abc import ABC, abstractmethod
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.flatrefs import FlatRefs
 from repro.distribution.base import Distribution
 from repro.distribution.regular import BlockDistribution
 from repro.machine.collectives import allgather_cost
@@ -55,6 +56,28 @@ class TranslationTable(ABC):
         """Translate every processor's list in one loosely synchronous phase."""
         return [self.dereference(p, refs) for p, refs in enumerate(ref_lists)]
 
+    def dereference_flat(
+        self, values: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat-form batched dereference: one translation for all processors.
+
+        ``values`` holds every processor's reference list concatenated;
+        ``bounds`` is the ``(P + 1,)`` CSR bound array (processor ``p``'s
+        refs are ``values[bounds[p]:bounds[p+1]]``).  Returns flat
+        ``(owners, local_offsets)`` aligned with ``values``.  Charges are
+        bit-identical to :meth:`dereference_all` on the equivalent lists;
+        the generic implementation delegates to it, and the concrete
+        tables override with loop-free versions.
+        """
+        results = self.dereference_all(FlatRefs(values, bounds).segments())
+        if not values.size:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return (
+            np.concatenate([o for o, _ in results]),
+            np.concatenate([l for _, l in results]),
+        )
+
     def _translate(self, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         g = np.asarray(gidx, dtype=np.int64)
         return (
@@ -70,6 +93,15 @@ class RegularTranslationTable(TranslationTable):
         owners, lidx = self._translate(gidx)
         self.machine.charge_compute(
             p, iops=self.costs.translate_regular * len(owners)
+        )
+        return owners, lidx
+
+    def dereference_flat(
+        self, values: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        owners, lidx = self._translate(values)
+        self.machine.charge_compute_all(
+            iops=self.costs.translate_regular * np.diff(bounds).astype(np.float64)
         )
         return owners, lidx
 
@@ -92,6 +124,15 @@ class ReplicatedTranslationTable(TranslationTable):
         owners, lidx = self._translate(gidx)
         self.machine.charge_compute(
             p, iops=self.costs.translate_replicated * len(owners)
+        )
+        return owners, lidx
+
+    def dereference_flat(
+        self, values: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        owners, lidx = self._translate(values)
+        self.machine.charge_compute_all(
+            iops=self.costs.translate_replicated * np.diff(bounds).astype(np.float64)
         )
         return owners, lidx
 
@@ -169,18 +210,38 @@ class DistributedTranslationTable(TranslationTable):
 
         Loosely synchronous version used by inspectors: all processors'
         requests travel in a single exchange phase, so wall time is the
-        max per-processor cost, not the sum.
+        max per-processor cost, not the sum.  Delegates to the flat
+        kernel; charges are identical.
         """
-        m = self.machine
-        n = m.n_procs
+        n = self.machine.n_procs
         if len(ref_lists) != n:
             raise ValueError(f"expected {n} reference lists, got {len(ref_lists)}")
-        results = []
+        refs = FlatRefs.from_lists(ref_lists)
+        owners, lidx = self.dereference_flat(refs.values, refs.bounds)
+        bounds = refs.bounds
+        return [
+            (owners[bounds[p] : bounds[p + 1]], lidx[bounds[p] : bounds[p + 1]])
+            for p in range(n)
+        ]
+
+    def dereference_flat(
+        self, values: np.ndarray, bounds: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Flat batched dereference: one translation, one page-owner
+        bincount, and the request/probe/reply exchange phases — no Python
+        loop over processors."""
+        m = self.machine
+        n = m.n_procs
+        owners, lidx = self._translate(values)
         req_counts = np.zeros((n, n), dtype=np.int64)
-        for p, refs in enumerate(ref_lists):
-            g = np.asarray(refs, dtype=np.int64)
-            results.append(self._translate(g))
-            req_counts[p] = self._page_request_counts(p, g)
+        if values.size:
+            page_owner = np.asarray(self.pages.owner(values), dtype=np.int64)
+            pid = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(bounds).astype(np.int64)
+            )
+            req_counts = np.bincount(
+                pid * n + page_owner, minlength=n * n
+            ).reshape(n, n)
         # request exchange (indices), probe at owners, reply exchange (pairs)
         off_diag = req_counts.copy()
         np.fill_diagonal(off_diag, 0)
@@ -193,7 +254,7 @@ class DistributedTranslationTable(TranslationTable):
             src=req_q, dst=req_p, nbytes=pair_counts * 2 * self.costs.index_bytes
         )
         m.barrier()
-        return results
+        return owners, lidx
 
 
 def build_translation_table(

@@ -101,13 +101,15 @@ def _execute_once(
         for sched, arr, ghosts in gather_items:
             sched.gather(arr, ghosts.buffers)
 
-    # combined views for reads
+    # combined views for reads (read-only segment views: acquiring them
+    # must not perturb the arrays' content versions)
     combined: dict[tuple[str, str | None], list[np.ndarray]] = {}
     for key in read_keys:
         pat = product.patterns[key]
         arr = arrays[pat.array]
         combined[key] = [
-            np.concatenate([arr.local(p), pat.ghosts.buf(p)]) for p in range(n_procs)
+            np.concatenate([arr.local_ro(p), pat.ghosts.buf(p)])
+            for p in range(n_procs)
         ]
 
     # staging for writes, grouped so patterns sharing one (coalesced)
@@ -191,15 +193,18 @@ def _execute_once(
         pat = product.patterns[key]
         arr = arrays[pat.array]
         ghost_bufs = []
+        data = arr.backing_mut()  # one version bump per merged group
+        offsets = arr.distribution.flat_offsets()
         for p in range(n_procs):
             nloc = pat.localized.local_sizes[p]
             stage = staging[gkey][p]
+            seg = data[offsets[p] : offsets[p + 1]]
             if kind == "assign":
                 m = assigned_mask[gkey][p][:nloc]
-                arr.local(p)[m] = stage[:nloc][m]
+                seg[m] = stage[:nloc][m]
             else:
                 op = REDUCTION_OPS[kind]
-                op(arr.local(p), stage[:nloc], out=arr.local(p))
+                op(seg, stage[:nloc], out=seg)
             ghost_bufs.append(stage[nloc:])
         if kind == "assign":
             # only slots actually assigned may overwrite owner data; we

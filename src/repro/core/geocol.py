@@ -102,7 +102,9 @@ def construct_geocol(
                     f"GeoCoL {name!r} has {n_vertices} vertices"
                 )
             source_dads[arr.name] = DAD.of(arr)
-        coords = np.stack([arr.to_global().astype(np.float64) for arr in geometry])
+        coords = np.stack(
+            [np.asarray(arr.global_view(), dtype=np.float64) for arr in geometry]
+        )
 
     weights = None
     if load is not None:
@@ -124,7 +126,10 @@ def construct_geocol(
         source_dads[e1.name] = DAD.of(e1)
         source_dads[e2.name] = DAD.of(e2)
         edges = np.stack(
-            [e1.to_global().astype(np.int64), e2.to_global().astype(np.int64)]
+            [
+                np.asarray(e1.global_view(), dtype=np.int64),
+                np.asarray(e2.global_view(), dtype=np.int64),
+            ]
         )
         if edges.size and (edges.min() < 0 or edges.max() >= n_vertices):
             raise ValueError(

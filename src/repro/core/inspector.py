@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.chaos.buffers import GhostBuffers
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
-from repro.chaos.localize import LocalizeResult, localize
+from repro.chaos.localize import FlatRefs, LocalizeResult, localize
 from repro.chaos.ttable import TranslationTable, build_translation_table
 from repro.core.forall import Assign, ForallLoop
 from repro.core.iteration import IterationPartition, partition_iterations
@@ -91,28 +91,31 @@ def run_inspector(
 
     # Phase D: localize every distinct access pattern
     n_procs = machine.n_procs
-    direct_cache: dict[int, list[np.ndarray]] = {}
-    ind_cache: dict[str, np.ndarray] = {}
+    ref_cache: dict[str | None, FlatRefs] = {}
     patterns: dict[tuple[str, str | None], PatternData] = {}
 
-    # flattened iteration partition: one fancy-index over all iterations
-    # (then a zero-copy split) instead of one per processor
+    # flattened iteration partition: reference lists stay in flat
+    # (values, bounds) form end to end — one fancy-index over all
+    # iterations, no per-processor splits or concatenations
     iter_flat = (
         np.concatenate(itpart.iters) if itpart.iters else np.empty(0, dtype=np.int64)
     )
-    iter_bounds = np.cumsum([it.size for it in itpart.iters])[:-1]
+    iter_bounds = np.zeros(n_procs + 1, dtype=np.int64)
+    np.cumsum([it.size for it in itpart.iters], out=iter_bounds[1:])
 
-    def per_proc_refs(index: str | None) -> list[np.ndarray]:
+    def per_proc_refs(index: str | None) -> FlatRefs:
         """Global element indices each processor's iterations touch."""
-        if index is None:
-            key = 0
-            if key not in direct_cache:
-                direct_cache[key] = [it.copy() for it in itpart.iters]
-            return direct_cache[key]
-        if index not in ind_cache:
-            ind_cache[index] = arrays[index].to_global().astype(np.int64)
-        values = ind_cache[index]
-        return np.split(values[iter_flat], iter_bounds)
+        refs = ref_cache.get(index)
+        if refs is None:
+            if index is None:
+                refs = FlatRefs(iter_flat, iter_bounds)
+            else:
+                # cached, content-versioned global assembly: repeated
+                # inspections of an unmutated indirection array reuse it
+                values = np.asarray(arrays[index].global_view(), dtype=np.int64)
+                refs = FlatRefs(values[iter_flat], iter_bounds)
+            ref_cache[index] = refs
+        return refs
 
     def get_ttable(array_name: str) -> TranslationTable:
         arr = arrays[array_name]
@@ -156,8 +159,8 @@ def run_inspector(
         # coalesced: localize the union of all patterns' reference lists
         per_pattern = [per_proc_refs(index) for index in indexes]
         combined = [
-            np.concatenate([per_pattern[k][p] for k in range(len(indexes))])
-            if any(per_pattern[k][p].size for k in range(len(indexes)))
+            np.concatenate([fr.segment(p) for fr in per_pattern])
+            if any(fr.segment(p).size for fr in per_pattern)
             else np.empty(0, dtype=np.int64)
             for p in range(n_procs)
         ]
@@ -167,8 +170,8 @@ def run_inspector(
         for k, index in enumerate(indexes):
             split_refs = []
             for p in range(n_procs):
-                start = sum(per_pattern[j][p].size for j in range(k))
-                stop = start + per_pattern[k][p].size
+                start = sum(per_pattern[j].segment(p).size for j in range(k))
+                stop = start + per_pattern[k].segment(p).size
                 split_refs.append(loc.local_refs[p][start:stop])
             view = LocalizeResult(
                 local_refs=split_refs,

@@ -41,17 +41,27 @@ class IterationPartition:
         return [len(it) for it in self.iters]
 
     def owner_of(self) -> np.ndarray:
-        """Dense iteration -> processor map (for tests)."""
+        """Dense iteration -> processor map (one scatter, for tests)."""
         out = np.empty(self.n_iterations, dtype=np.int64)
-        for p, it in enumerate(self.iters):
-            out[it] = p
+        counts = np.asarray([it.size for it in self.iters], dtype=np.int64)
+        flat = (
+            np.concatenate(self.iters)
+            if self.iters
+            else np.empty(0, dtype=np.int64)
+        )
+        out[flat] = np.repeat(np.arange(len(self.iters), dtype=np.int64), counts)
         return out
 
 
 def _ref_targets(
     loop: ForallLoop, arrays: dict[str, DistArray], refs
 ) -> list[np.ndarray]:
-    """Global element index referenced per iteration, per ArrayRef."""
+    """Global element index referenced per iteration, per ArrayRef.
+
+    Indirection arrays are read through ``global_view()`` — the cached,
+    content-versioned global assembly — so repeated inspections of an
+    unmutated indirection array cost nothing here.
+    """
     n = loop.n_iterations
     direct = np.arange(n, dtype=np.int64)
     targets = []
@@ -65,7 +75,7 @@ def _ref_targets(
                     f"indirection array {ref.index!r} has size {ind.size}, "
                     f"loop {loop.name!r} iterates {n}"
                 )
-            targets.append(ind.to_global().astype(np.int64))
+            targets.append(np.asarray(ind.global_view(), dtype=np.int64))
     return targets
 
 
@@ -74,10 +84,10 @@ def _majority_owner(owners: np.ndarray) -> np.ndarray:
 
     Equivalent to building the dense (n, n_procs) vote matrix and taking
     a row-wise argmax, but O(n * k^2) with k = references per iteration
-    (a handful) instead of O(n * P) memory and scattered adds.  Rows are
-    sorted so equal owners are adjacent; each position's vote count is a
-    k x k comparison; the first position attaining the row maximum is the
-    lowest-numbered majority owner (argmax tie semantics).
+    (a handful) instead of O(n * P) memory and scattered adds.  Each
+    position's multiplicity comes from one broadcast k x k comparison
+    (no per-row sort); among the positions attaining the row maximum the
+    smallest owner id wins — the dense argmax's tie semantics.
     """
     n, k = owners.shape
     if k == 1:
@@ -85,15 +95,22 @@ def _majority_owner(owners: np.ndarray) -> np.ndarray:
     if k == 2:
         # both agree -> that owner; split vote -> argmax tie -> lowest id
         return np.minimum(owners[:, 0], owners[:, 1])
-    srt = np.sort(owners, axis=1)
-    counts = np.ones((n, k), dtype=np.int64)
+    # work on (k, n) contiguous rows: every op below is a 1-D pass
+    cols = np.ascontiguousarray(owners.T)
+    counts = np.ones((k, n), dtype=np.int64)
     for j in range(k):
         for l in range(j + 1, k):
-            eq = srt[:, l] == srt[:, j]
-            counts[:, j] += eq
-            counts[:, l] += eq
-    best = np.argmax(counts, axis=1)
-    return srt[np.arange(n), best]
+            eq = cols[j] == cols[l]
+            counts[j] += eq
+            counts[l] += eq
+    cmax = counts[0].copy()
+    for j in range(1, k):
+        np.maximum(cmax, counts[j], out=cmax)
+    big = np.iinfo(np.int64).max
+    winner = np.full(n, big, dtype=np.int64)
+    for j in range(k):
+        np.minimum(winner, np.where(counts[j] == cmax, cols[j], big), out=winner)
+    return winner
 
 
 def partition_iterations(
@@ -126,12 +143,21 @@ def partition_iterations(
         )
 
     targets = _ref_targets(loop, arrays, refs)
-    owners = np.empty((n, len(refs)), dtype=np.int64)
-    for j, (ref, tgt) in enumerate(zip(refs, targets)):
-        owners[:, j] = np.asarray(
-            arrays[ref.array].distribution.owner(tgt), dtype=np.int64
-        )
-    home = _majority_owner(owners)  # ties -> lowest proc
+    # one stacked owner() call per distinct distribution instead of one
+    # per reference: rows translating through the same distribution are
+    # looked up together; the (k, n) layout keeps every row contiguous
+    owners = np.empty((len(refs), n), dtype=np.int64)
+    by_dist: dict[tuple, list[int]] = {}
+    dists = {}
+    for j, ref in enumerate(refs):
+        dist = arrays[ref.array].distribution
+        sig = dist.signature()
+        by_dist.setdefault(sig, []).append(j)
+        dists[sig] = dist
+    for sig, rows in by_dist.items():
+        stacked = np.stack([targets[j] for j in rows], axis=0)
+        owners[rows] = np.asarray(dists[sig].owner(stacked), dtype=np.int64)
+    home = _majority_owner(owners.T)  # ties -> lowest proc
 
     # group iterations by home processor with one stable sort instead of
     # one O(n) mask per processor

@@ -203,12 +203,9 @@ class IrregularProgram:
             raise ValueError(
                 f"expected shape ({arr.size},), got {values.shape}"
             )
-        for p in range(self.machine.n_procs):
-            arr.local(p)[:] = values[arr.distribution.local_indices(p)].astype(
-                arr.dtype
-            )
+        arr.set_global(values.astype(arr.dtype, copy=False))
         self.machine.charge_compute_all(
-            mem=[float(arr.distribution.local_size(p)) for p in range(self.machine.n_procs)]
+            mem=arr.distribution.local_sizes().astype(np.float64)
         )
         if self.track:
             self._record_write([arr])

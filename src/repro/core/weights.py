@@ -71,7 +71,7 @@ def derive_loop_weights(
                     f"indirection array {lhs.index!r} has size {ind.size}, "
                     f"loop iterates {n}"
                 )
-            targets = ind.to_global().astype(np.int64)
+            targets = np.asarray(ind.global_view(), dtype=np.int64)
         if targets.size and (targets.min() < 0 or targets.max() >= n_vertices):
             raise IndexError(
                 f"loop {loop.name!r} writes outside [0, {n_vertices})"

@@ -33,6 +33,9 @@ class Distribution(ABC):
             raise ValueError(f"need at least one processor, got {n_procs}")
         self.size = int(size)
         self.n_procs = int(n_procs)
+        self._flat_offsets: np.ndarray | None = None
+        self._global_perm: np.ndarray | None = None
+        self._global_perm_inv: np.ndarray | None = None
 
     # -- required ---------------------------------------------------------
     @abstractmethod
@@ -72,6 +75,64 @@ class Distribution(ABC):
         if not self.size:
             return np.zeros(self.n_procs, dtype=np.int64)
         return np.bincount(self.owner_map(), minlength=self.n_procs).astype(np.int64)
+
+    def flat_offsets(self) -> np.ndarray:
+        """CSR bounds of the flat segmented layout: element ``(p, l)`` of
+        the concatenated per-processor storage lives at flat position
+        ``flat_offsets()[p] + l``.  Cached, read-only, shape ``(P + 1,)``.
+        """
+        if self._flat_offsets is None:
+            off = np.zeros(self.n_procs + 1, dtype=np.int64)
+            np.cumsum(self.local_sizes(), out=off[1:])
+            off.flags.writeable = False
+            self._flat_offsets = off
+        return self._flat_offsets
+
+    def global_perm(self) -> np.ndarray:
+        """Concatenated ``local_indices`` of all processors (cached).
+
+        ``global_perm()[s]`` is the global index stored at flat slot
+        ``s`` of the segmented layout, so scattering ``out[perm] = flat``
+        assembles the global array.  Regular distributions override
+        :meth:`_build_global_perm` with closed-form constructions; the
+        irregular distribution stores the permutation at build time.
+        The returned array is cached and read-only.
+        """
+        if self._global_perm is None:
+            perm = np.ascontiguousarray(self._build_global_perm(), dtype=np.int64)
+            perm.flags.writeable = False
+            self._global_perm = perm
+        return self._global_perm
+
+    def global_perm_inverse(self) -> np.ndarray:
+        """Inverse of :meth:`global_perm`: flat slot of each global index
+        (``inv[g] == flat_offsets()[owner(g)] + local_index(g)``), so
+        gathering ``flat[inv]`` assembles the global array.  Cached,
+        read-only."""
+        if self._global_perm_inv is None:
+            inv = self._build_global_perm_inverse()
+            inv = np.ascontiguousarray(inv, dtype=np.int64)
+            inv.flags.writeable = False
+            self._global_perm_inv = inv
+        return self._global_perm_inv
+
+    def global_perm_is_identity(self) -> bool:
+        """True when flat (segmented) order equals global order, letting
+        callers skip the permutation entirely (BLOCK distributions)."""
+        return False
+
+    def _build_global_perm(self) -> np.ndarray:
+        # generic: honor whatever local-offset order global_index defines
+        if not self.size:
+            return np.empty(0, dtype=np.int64)
+        return np.concatenate(
+            [self.local_indices(p) for p in range(self.n_procs)]
+        )
+
+    def _build_global_perm_inverse(self) -> np.ndarray:
+        inv = np.empty(self.size, dtype=np.int64)
+        inv[self.global_perm()] = np.arange(self.size, dtype=np.int64)
+        return inv
 
     def signature(self) -> tuple:
         """Hashable identity used by data access descriptors.

@@ -1,10 +1,35 @@
-"""Distributed arrays: per-processor local segments bound to a distribution.
+"""Distributed arrays: flat segmented storage with content-versioned views.
 
-A ``DistArray`` owns one NumPy array per virtual processor.  The runtime
-(CHAOS layer) moves data between segments through communication schedules
-and charges the machine for it; the convenience accessors here
-(``to_global`` / ``from_global`` / ``global_get``) exist for construction,
-verification and tests, and deliberately charge *nothing*.
+Layout
+------
+A ``DistArray`` stores every virtual processor's segment in **one
+contiguous backing array** laid out CSR-style: processor ``p``'s segment
+is ``backing[offsets[p]:offsets[p+1]]`` where ``offsets`` are the
+distribution's cached :meth:`~repro.distribution.base.Distribution.flat_offsets`.
+``local(p)`` hands out a *live slice view* of the backing (writes through
+it hit the array), so the CHAOS runtime can pack/unpack/scatter with a
+single fancy-index over the backing instead of a Python loop over
+processors.
+
+Versioning contract
+-------------------
+``version`` is a monotonically increasing content counter.  Every
+mutating API bumps it: ``from_global``/``set_global``, ``global_set``,
+``rebind``/``rebind_flat``, the runtime's direct backing writes
+(schedule scatter, remap apply, executor merge), and — via a write
+barrier on the view class — indexed assignment, in-place operators and
+``ufunc``/``ufunc.at`` writes through views obtained from ``local(p)``.
+``global_view()`` returns the assembled global array as a cached
+*read-only* array that is recomputed only when ``version`` moved;
+``to_global()`` returns a fresh writable copy of it.  The one documented
+hole in the barrier: laundering a ``local(p)`` view through
+``np.asarray``/``.view(np.ndarray)`` before writing bypasses the bump —
+runtime code never does that, and external callers should mutate through
+the documented APIs.
+
+The convenience accessors (``to_global`` / ``from_global`` /
+``global_get`` / ``global_set``) exist for construction, verification
+and tests, and deliberately charge *nothing* to the simulated machine.
 """
 
 from __future__ import annotations
@@ -23,8 +48,56 @@ if TYPE_CHECKING:  # pragma: no cover
 _uid_counter = itertools.count(1)
 
 
+class LocalSegmentView(np.ndarray):
+    """A live, writable slice of a ``DistArray``'s backing storage.
+
+    Acts as the write barrier of the versioning contract: indexed
+    assignment, in-place operators, ufunc calls with this view as an
+    ``out=`` target, and ``ufunc.at`` scatter updates all bump the
+    owning array's content version.  Derived views (slices of slices)
+    inherit the barrier through ``__array_finalize__``.
+    """
+
+    _owner: "DistArray | None"
+
+    def __array_finalize__(self, obj) -> None:
+        self._owner = getattr(obj, "_owner", None)
+
+    def _touch(self) -> None:
+        owner = self._owner
+        if owner is not None:
+            owner._bump()
+
+    def __setitem__(self, key, value):
+        self._touch()
+        super().__setitem__(key, value)
+
+    def __array_ufunc__(self, ufunc, method, *inputs, **kwargs):
+        out = kwargs.get("out")
+        writes = method == "at" and inputs and inputs[0] is self
+        if out is not None:
+            outs = out if isinstance(out, tuple) else (out,)
+            writes = writes or any(o is self for o in outs)
+        if writes:
+            self._touch()
+
+        # strip the barrier subclass and run the ufunc on plain views so
+        # results don't inherit it (and ndarray's default dispatch, which
+        # bails on mixed-override operands, is never consulted)
+        def strip(x):
+            return x.view(np.ndarray) if isinstance(x, LocalSegmentView) else x
+
+        inputs = tuple(strip(x) for x in inputs)
+        if out is not None:
+            stripped = tuple(
+                strip(o) for o in (out if isinstance(out, tuple) else (out,))
+            )
+            kwargs["out"] = stripped if isinstance(out, tuple) else stripped[0]
+        return getattr(ufunc, method)(*inputs, **kwargs)
+
+
 class DistArray:
-    """A 1-D distributed array on a simulated machine."""
+    """A 1-D distributed array on a simulated machine (flat-backed)."""
 
     def __init__(
         self,
@@ -45,10 +118,11 @@ class DistArray:
         self.uid = next(_uid_counter)
         self.name = name if name is not None else f"arr{self.uid}"
         self.decomposition: "Decomposition | None" = None
-        self._local = [
-            np.full(distribution.local_size(p), fill, dtype=self.dtype)
-            for p in range(machine.n_procs)
-        ]
+        self._offsets = distribution.flat_offsets()
+        self._data = np.full(distribution.size, fill, dtype=self.dtype)
+        self._version = 0
+        self._global_cache: np.ndarray | None = None
+        self._global_cache_version = -1
 
     # -- construction ---------------------------------------------------------
     @classmethod
@@ -68,9 +142,17 @@ class DistArray:
                 f"value count {values.size} != distribution size {distribution.size}"
             )
         arr = cls(machine, distribution, dtype=values.dtype, name=name)
-        for p in range(machine.n_procs):
-            arr._local[p][:] = values[distribution.local_indices(p)]
+        arr.set_global(values)
         return arr
+
+    def set_global(self, values: np.ndarray) -> None:
+        """Fill the backing from a global array (one permuted fancy-index)."""
+        dist = self.distribution
+        if dist.global_perm_is_identity():
+            self._data[:] = values
+        else:
+            self._data[:] = values[dist.global_perm()]
+        self._bump()
 
     # -- basic properties -------------------------------------------------------
     @property
@@ -81,44 +163,103 @@ class DistArray:
     def itemsize(self) -> int:
         return self.dtype.itemsize
 
-    def local(self, p: int) -> np.ndarray:
-        """The local segment of processor ``p`` (a live view, not a copy)."""
+    @property
+    def version(self) -> int:
+        """Content version: bumped by every mutation (see module docstring)."""
+        return self._version
+
+    def _bump(self) -> None:
+        self._version += 1
+
+    # -- local segment access ---------------------------------------------------
+    def _check_proc(self, p: int) -> None:
         if not 0 <= p < self.machine.n_procs:
             raise ValueError(
                 f"processor id {p} out of range [0, {self.machine.n_procs})"
             )
-        return self._local[p]
+
+    def local(self, p: int) -> np.ndarray:
+        """The local segment of processor ``p`` — a live, *writable* view.
+
+        Writes through the returned view (indexed assignment, in-place
+        ops, ``ufunc.at``) bump the content version via the
+        :class:`LocalSegmentView` write barrier.
+        """
+        self._check_proc(p)
+        view = self._data[self._offsets[p] : self._offsets[p + 1]].view(
+            LocalSegmentView
+        )
+        view._owner = self
+        return view
+
+    def local_ro(self, p: int) -> np.ndarray:
+        """Read-only view of processor ``p``'s segment (no barrier cost).
+
+        The runtime's read paths use this so acquiring segments for
+        packing never invalidates the cached global view.
+        """
+        self._check_proc(p)
+        view = self._data[self._offsets[p] : self._offsets[p + 1]]
+        view.flags.writeable = False
+        return view
+
+    # -- flat backing access (runtime internals) --------------------------------
+    @property
+    def backing_ro(self) -> np.ndarray:
+        """Read-only view of the whole flat backing array."""
+        view = self._data[:]
+        view.flags.writeable = False
+        return view
+
+    def backing_mut(self) -> np.ndarray:
+        """The writable flat backing; bumps the content version.
+
+        Callers (schedule scatter, remap apply, executor merge) mutate
+        the returned array directly — the bump here is their barrier.
+        """
+        self._bump()
+        return self._data
 
     # -- global views (test/verification helpers; charge nothing) -------------
+    def global_view(self) -> np.ndarray:
+        """The assembled global array as a cached **read-only** view.
+
+        Recomputed lazily only when the content version moved; while the
+        array is unmutated this is O(1), which is what lets inspectors
+        read indirection arrays once per run instead of re-assembling
+        them per loop.
+        """
+        if self._global_cache_version != self._version:
+            dist = self.distribution
+            if dist.global_perm_is_identity():
+                out = self._data.copy()
+            else:
+                out = self._data[dist.global_perm_inverse()]
+            out.flags.writeable = False
+            self._global_cache = out
+            self._global_cache_version = self._version
+        return self._global_cache
+
     def to_global(self) -> np.ndarray:
-        """Assemble the global array from local segments."""
-        out = np.empty(self.size, dtype=self.dtype)
-        for p in range(self.machine.n_procs):
-            out[self.distribution.local_indices(p)] = self._local[p]
-        return out
+        """Assemble the global array (fresh writable copy of the cache)."""
+        return self.global_view().copy()
 
     def global_get(self, gidx) -> np.ndarray:
         """Read values at global indices, regardless of owner."""
-        g = np.asarray(gidx, dtype=np.int64)
-        owners = np.asarray(self.distribution.owner(g))
-        lidx = np.asarray(self.distribution.local_index(g))
-        out = np.empty(g.shape, dtype=self.dtype)
-        flat_o, flat_l = owners.ravel(), lidx.ravel()
-        flat_out = out.ravel()
-        for p in np.unique(flat_o):
-            sel = flat_o == p
-            flat_out[sel] = self._local[int(p)][flat_l[sel]]
-        return out
+        g = self.distribution._check_gidx(gidx)
+        if self.distribution.global_perm_is_identity():
+            return self._data[g]
+        return self._data[self.distribution.global_perm_inverse()[g]]
 
     def global_set(self, gidx, values) -> None:
         """Write values at global indices, regardless of owner."""
-        g = np.asarray(gidx, dtype=np.int64)
+        g = self.distribution._check_gidx(gidx)
         vals = np.broadcast_to(np.asarray(values, dtype=self.dtype), g.shape)
-        owners = np.asarray(self.distribution.owner(g))
-        lidx = np.asarray(self.distribution.local_index(g))
-        for p in np.unique(owners):
-            sel = owners == p
-            self._local[int(p)][lidx[sel]] = vals[sel]
+        if self.distribution.global_perm_is_identity():
+            self._data[g] = vals
+        else:
+            self._data[self.distribution.global_perm_inverse()[g]] = vals
+        self._bump()
 
     # -- rebinding (used by CHAOS remap) ---------------------------------------
     def rebind(self, distribution: Distribution, new_locals: list[np.ndarray]) -> None:
@@ -126,7 +267,8 @@ class DistArray:
 
         Callers (``repro.chaos.remap``) are responsible for having moved
         the data and charged the machine; this only swaps the bindings,
-        validating shapes.
+        validating shapes.  ``new_locals`` is the per-processor list
+        form; the flat path uses :meth:`rebind_flat`.
         """
         if distribution.size != self.size:
             raise ValueError(
@@ -138,15 +280,37 @@ class DistArray:
             raise ValueError(
                 f"expected {self.machine.n_procs} local segments, got {len(new_locals)}"
             )
+        sizes = distribution.local_sizes()
         for p, seg in enumerate(new_locals):
-            want = distribution.local_size(p)
-            if seg.shape != (want,):
+            if seg.shape != (int(sizes[p]),):
                 raise ValueError(
                     f"segment for processor {p} has shape {seg.shape}, "
-                    f"expected ({want},)"
+                    f"expected ({int(sizes[p])},)"
                 )
+        self.rebind_flat(
+            distribution,
+            np.concatenate([np.asarray(seg) for seg in new_locals])
+            if new_locals
+            else np.empty(0, dtype=self.dtype),
+        )
+
+    def rebind_flat(self, distribution: Distribution, flat: np.ndarray) -> None:
+        """Flat-form rebind: ``flat`` is the new backing in segmented order."""
+        if distribution.size != self.size:
+            raise ValueError(
+                f"remap changed array size: {self.size} -> {distribution.size}"
+            )
+        if distribution.n_procs != self.machine.n_procs:
+            raise ValueError("remap distribution spans a different machine size")
+        flat = np.ascontiguousarray(flat, dtype=self.dtype)
+        if flat.shape != (self.size,):
+            raise ValueError(
+                f"flat backing has shape {flat.shape}, expected ({self.size},)"
+            )
         self.distribution = distribution
-        self._local = [np.ascontiguousarray(seg, dtype=self.dtype) for seg in new_locals]
+        self._offsets = distribution.flat_offsets()
+        self._data = flat
+        self._bump()
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

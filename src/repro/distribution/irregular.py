@@ -42,6 +42,8 @@ class IrregularDistribution(Distribution):
         self._local[order] = within
         # per-processor lists of owned global indices, local-offset order
         self._by_proc = [order[starts[p] : starts[p + 1]] for p in range(n_procs)]
+        self._order = order
+        self._starts = starts
         digest = hashlib.blake2b(owners.tobytes(), digest_size=8).hexdigest()
         self._sig = (self.kind, self.size, self.n_procs, digest)
 
@@ -74,6 +76,13 @@ class IrregularDistribution(Distribution):
 
     def owner_map(self) -> np.ndarray:
         return self._owners.copy()
+
+    def _build_global_perm(self) -> np.ndarray:
+        # the stable owner sort from construction *is* the permutation
+        return self._order
+
+    def _build_global_perm_inverse(self) -> np.ndarray:
+        return self._starts[self._owners] + self._local
 
     def signature(self) -> tuple:
         """Includes a content hash: remapping to a new owner map changes

@@ -50,6 +50,15 @@ class BlockDistribution(Distribution):
         lo = np.arange(self.n_procs, dtype=np.int64) * self.chunk
         return np.clip(self.size - lo, 0, self.chunk)
 
+    def global_perm_is_identity(self) -> bool:
+        return True
+
+    def _build_global_perm(self) -> np.ndarray:
+        return np.arange(self.size, dtype=np.int64)
+
+    def _build_global_perm_inverse(self) -> np.ndarray:
+        return np.arange(self.size, dtype=np.int64)
+
 
 class CyclicDistribution(Distribution):
     """HPF CYCLIC: element g lives on processor ``g mod P``."""
@@ -82,6 +91,19 @@ class CyclicDistribution(Distribution):
         sizes = np.full(self.n_procs, full, dtype=np.int64)
         sizes[:extra] += 1
         return sizes
+
+    def _build_global_perm(self) -> np.ndarray:
+        # flat slot s on processor p at local offset l holds g = l * P + p
+        starts = self.flat_offsets()
+        p_of = np.repeat(
+            np.arange(self.n_procs, dtype=np.int64), self.local_sizes()
+        )
+        l_of = np.arange(self.size, dtype=np.int64) - starts[p_of]
+        return l_of * self.n_procs + p_of
+
+    def _build_global_perm_inverse(self) -> np.ndarray:
+        g = np.arange(self.size, dtype=np.int64)
+        return self.flat_offsets()[g % self.n_procs] + g // self.n_procs
 
 
 class BlockCyclicDistribution(Distribution):
