@@ -14,6 +14,11 @@ Reference points on this host (2026-07), P=256 scenario:
 * flattened CSR schedules + array exchange (PR 1): ~6.5s
 * struct-of-arrays Machine counter block + flattened remap (PR 2): ~6.0s
 * flat segmented DistArray storage + versioned global views (PR 3): ~4.2s
+* flat GhostBuffers + vectorized localize/executor (PR 4): ~2.6s
+
+``benchmarks/check_regression.py`` compares a fresh report against the
+committed ``benchmarks/baseline/BENCH_simspeed.json`` (CI fails on any
+simulated-number drift, warns on wall-time regression).
 
 Run standalone (``python benchmarks/bench_simspeed.py [P ...]
 [--profile]``) or under pytest (``pytest benchmarks/bench_simspeed.py``).
@@ -38,7 +43,7 @@ PROC_COUNTS = [64, 128, 256, 512]
 
 #: implementation generation recorded in the JSON so the trajectory of
 #: the simulator's own performance stays attributable across PRs
-IMPLEMENTATION = "flat-distarray"
+IMPLEMENTATION = "flat-ghostbuffers"
 
 
 def run_simspeed(

@@ -1,0 +1,169 @@
+"""CI perf-regression gate for the simulator self-performance bench.
+
+Compares a fresh ``benchmarks/out/BENCH_simspeed.json`` (produced by
+``bench_simspeed.py``) against the committed baseline
+``benchmarks/baseline/BENCH_simspeed.json`` and enforces the two
+invariants every optimization PR must keep:
+
+* **Simulated numbers are bit-identical.**  ``simulated_total``, every
+  ``simulated_phases`` entry, and the message/byte counters must match
+  the baseline exactly for every processor count both files cover.  Any
+  drift fails the job (exit 1): the vectorized runtime is only allowed
+  to change *wall* time, never the modeled machine.
+* **Wall time does not regress quietly.**  For the processor counts
+  checked (default: P=64, the CI smoke run), wall time more than
+  ``--wall-tolerance`` (default 25%) above baseline emits a GitHub
+  Actions ``::warning`` annotation but does **not** fail the job --
+  shared CI runners are too noisy to gate hard on wall clock; the
+  trajectory is tracked via the uploaded JSON artifact.
+
+Exit status: 0 = clean (warnings allowed), 1 = simulated drift or
+unusable inputs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+DEFAULT_BASELINE = os.path.join(HERE, "baseline", "BENCH_simspeed.json")
+DEFAULT_CURRENT = os.path.join(HERE, "out", "BENCH_simspeed.json")
+
+#: scenario metadata that must match for the comparison to be meaningful
+SCENARIO_KEYS = ("scenario", "n_nodes", "iterations", "partitioner")
+
+#: per-run fields pinned exactly (the simulated machine's output)
+EXACT_KEYS = ("simulated_total", "messages", "bytes")
+
+
+def _fail(msg: str) -> None:
+    print(f"::error::{msg}")
+    print(f"FAIL: {msg}", file=sys.stderr)
+
+
+def _warn(msg: str) -> None:
+    print(f"::warning::{msg}")
+    print(f"WARN: {msg}", file=sys.stderr)
+
+
+def compare(baseline: dict, current: dict, wall_procs, wall_tolerance: float):
+    """Return (n_errors, n_warnings) for ``current`` vs ``baseline``."""
+    errors = 0
+    warnings = 0
+    for key in SCENARIO_KEYS:
+        if baseline.get(key) != current.get(key):
+            _fail(
+                f"scenario mismatch: {key}={current.get(key)!r} but baseline "
+                f"has {baseline.get(key)!r} -- comparison is meaningless"
+            )
+            errors += 1
+    base_runs = {run["n_procs"]: run for run in baseline.get("runs", [])}
+    cur_runs = {run["n_procs"]: run for run in current.get("runs", [])}
+    shared = sorted(set(base_runs) & set(cur_runs))
+    if not shared:
+        _fail(
+            f"no overlapping processor counts (baseline {sorted(base_runs)}, "
+            f"current {sorted(cur_runs)})"
+        )
+        return errors + 1, warnings
+
+    for n_procs in shared:
+        base, cur = base_runs[n_procs], cur_runs[n_procs]
+        missing = [
+            key
+            for key in EXACT_KEYS + ("wall_seconds",)
+            if key not in base or key not in cur
+        ]
+        if missing:
+            _fail(
+                f"P={n_procs}: report field(s) missing: {missing} -- "
+                "format mismatch between baseline and current bench"
+            )
+            errors += 1
+            continue
+        for key in EXACT_KEYS:
+            if base[key] != cur[key]:
+                _fail(
+                    f"P={n_procs}: simulated drift in {key}: "
+                    f"{cur[key]!r} != baseline {base[key]!r}"
+                )
+                errors += 1
+        base_phases = base.get("simulated_phases", {})
+        cur_phases = cur.get("simulated_phases", {})
+        if set(base_phases) != set(cur_phases):
+            _fail(
+                f"P={n_procs}: phase set changed: {sorted(cur_phases)} != "
+                f"baseline {sorted(base_phases)}"
+            )
+            errors += 1
+        else:
+            for phase, want in base_phases.items():
+                if cur_phases[phase] != want:
+                    _fail(
+                        f"P={n_procs}: simulated drift in phase {phase!r}: "
+                        f"{cur_phases[phase]!r} != baseline {want!r}"
+                    )
+                    errors += 1
+        if n_procs in wall_procs:
+            base_wall, cur_wall = base["wall_seconds"], cur["wall_seconds"]
+            limit = base_wall * (1.0 + wall_tolerance)
+            if cur_wall > limit:
+                _warn(
+                    f"P={n_procs}: wall time regressed "
+                    f"{base_wall:.3f}s -> {cur_wall:.3f}s "
+                    f"(> {100 * wall_tolerance:.0f}% over baseline; "
+                    "non-fatal, check the runner before worrying)"
+                )
+                warnings += 1
+            else:
+                print(
+                    f"P={n_procs}: wall {cur_wall:.3f}s vs baseline "
+                    f"{base_wall:.3f}s (limit {limit:.3f}s) -- ok"
+                )
+        print(f"P={n_procs}: simulated numbers bit-identical -- ok")
+    return errors, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline", default=DEFAULT_BASELINE)
+    parser.add_argument("--current", default=DEFAULT_CURRENT)
+    parser.add_argument(
+        "--wall-procs",
+        type=int,
+        nargs="*",
+        default=[64],
+        help="processor counts whose wall time is checked (default: 64)",
+    )
+    parser.add_argument(
+        "--wall-tolerance",
+        type=float,
+        default=0.25,
+        help="fractional wall-time slack before warning (default: 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    for label, path in (("baseline", args.baseline), ("current", args.current)):
+        if not os.path.exists(path):
+            _fail(f"{label} report missing: {path}")
+            return 1
+    with open(args.baseline) as fh:
+        baseline = json.load(fh)
+    with open(args.current) as fh:
+        current = json.load(fh)
+
+    errors, warnings = compare(
+        baseline, current, set(args.wall_procs), args.wall_tolerance
+    )
+    if errors:
+        print(f"{errors} error(s), {warnings} warning(s)", file=sys.stderr)
+        return 1
+    print(f"regression check clean ({warnings} warning(s))")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,6 +5,25 @@ data ("allocates local memory for each unique off-processor distributed
 array element accessed by a loop").  ``GhostBuffers`` owns those arrays
 for one (schedule, dtype) pair; the inspector stores one per data array,
 and the reuse mechanism keeps them alive together with the schedule.
+
+Layout contract
+---------------
+All per-processor ghost buffers live in **one contiguous backing
+array**, CSR-style (mirroring ``DistArray``'s flat segmented storage):
+processor ``p``'s buffer is ``backing[offsets[p]:offsets[p+1]]`` where
+``offsets`` is the cumulative sum of the bound schedule's
+``ghost_sizes``.  Ghost slot ``s`` of processor ``p`` therefore lives at
+flat position ``offsets[p] + s`` -- the *ghost backing position* that
+:class:`~repro.chaos.schedule.CommSchedule` resolves its unpack slots
+against, which is what lets gather/scatter move every processor's ghost
+data with single fancy-indexes instead of a loop over processors.
+
+``buf(p)`` hands out a *live slice view* of the backing (writes through
+it hit the flat array), ``buffers`` is the per-processor list of those
+views (compat for callers that still think in lists), and ``fill`` is
+one vector operation over the backing.  The layout is fixed for the
+lifetime of the object: it is sized by the schedule at construction and
+the backing is never reallocated, so views stay valid.
 """
 
 from __future__ import annotations
@@ -17,7 +36,7 @@ from repro.machine.machine import Machine
 
 
 class GhostBuffers:
-    """Per-processor ghost arrays sized by a schedule."""
+    """Flat ghost storage for one schedule: one backing array, CSR offsets."""
 
     def __init__(
         self,
@@ -32,34 +51,38 @@ class GhostBuffers:
         self.machine = machine
         self.schedule = schedule
         self.dtype = np.dtype(dtype)
-        self._bufs = [
-            np.zeros(schedule.ghost_sizes[p], dtype=self.dtype)
-            for p in range(machine.n_procs)
-        ]
+        sizes = np.asarray(schedule.ghost_sizes, dtype=np.int64)
+        self.offsets = np.zeros(machine.n_procs + 1, dtype=np.int64)
+        np.cumsum(sizes, out=self.offsets[1:])
+        #: one np.zeros for every processor's buffer space
+        self.backing = np.zeros(int(self.offsets[-1]), dtype=self.dtype)
         if charge:
             machine.charge_compute_all(
-                iops=[costs.buffer_assign * s for s in schedule.ghost_sizes]
+                iops=costs.buffer_assign * sizes.astype(np.float64)
             )
 
     def buf(self, p: int) -> np.ndarray:
-        """Ghost buffer of processor ``p``."""
+        """Ghost buffer of processor ``p`` -- a live slice of the backing."""
         if not 0 <= p < self.machine.n_procs:
             raise ValueError(
                 f"processor id {p} out of range [0, {self.machine.n_procs})"
             )
-        return self._bufs[p]
+        return self.backing[self.offsets[p] : self.offsets[p + 1]]
 
     @property
     def buffers(self) -> list[np.ndarray]:
-        return self._bufs
+        """Per-processor list of live views into the backing (compat)."""
+        return [
+            self.backing[self.offsets[p] : self.offsets[p + 1]]
+            for p in range(self.machine.n_procs)
+        ]
 
     def fill(self, value) -> None:
         """Reset every buffer (e.g. zero ghosts before accumulating)."""
-        for b in self._bufs:
-            b.fill(value)
+        self.backing.fill(value)
 
     def total_elements(self) -> int:
-        return sum(b.size for b in self._bufs)
+        return self.backing.size
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

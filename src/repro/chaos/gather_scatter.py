@@ -24,17 +24,17 @@ REDUCTION_OPS = {
 
 def gather(schedule: CommSchedule, arr: DistArray, ghosts: GhostBuffers) -> None:
     """Prefetch off-processor elements of ``arr`` into ``ghosts``."""
-    schedule.gather(arr, ghosts.buffers)
+    schedule.gather(arr, ghosts)
 
 
 def scatter(schedule: CommSchedule, ghosts: GhostBuffers, arr: DistArray) -> None:
     """Copy ghost values back to their owners (overwrite semantics)."""
-    schedule.scatter(ghosts.buffers, arr)
+    schedule.scatter(ghosts, arr)
 
 
 def scatter_add(schedule: CommSchedule, ghosts: GhostBuffers, arr: DistArray) -> None:
     """Accumulate ghost contributions into their owners (+=)."""
-    schedule.scatter_op(ghosts.buffers, arr, np.add)
+    schedule.scatter_op(ghosts, arr, np.add)
 
 
 def scatter_op(
@@ -50,4 +50,4 @@ def scatter_op(
         raise ValueError(
             f"unknown reduction op {op_name!r}; choose from {sorted(REDUCTION_OPS)}"
         ) from None
-    schedule.scatter_op(ghosts.buffers, arr, op)
+    schedule.scatter_op(ghosts, arr, op)

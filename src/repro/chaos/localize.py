@@ -18,7 +18,16 @@ Reference lists travel in **flat form**: one concatenated value array
 plus CSR bounds (:class:`FlatRefs`), so the whole localize pass — one
 ``dereference_flat`` translation included — runs on single arrays with
 no per-processor concatenation or Python loop.  Plain per-processor
-lists are still accepted and flattened once at entry.
+lists are still accepted and flattened once at entry.  The result is
+flat too: :class:`LocalizeResult` stores ``(values, bounds)`` pairs and
+materializes per-processor list views only when a caller asks for them.
+
+Deduplication uses a direct ``np.sort`` over combined
+``processor * stride + global_index`` keys (the reference stream is
+already grouped by processor, so the combined sort is a bank of
+per-processor sorts) plus one ``searchsorted`` for the inverse mapping
+and per-processor group bounds — the same sorted-unique contract as
+``np.unique(..., return_inverse=True)`` without its indirect argsort.
 
 The cost charged mirrors what PARTI's hashed implementation did per
 reference: a hash probe per reference, an insert per unique off-processor
@@ -28,8 +37,6 @@ telling each owner which of its elements to send.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
@@ -38,17 +45,37 @@ from repro.chaos.schedule import CommSchedule
 from repro.chaos.ttable import TranslationTable
 from repro.machine.machine import Machine
 
-__all__ = ["FlatRefs", "LocalizeResult", "localize"]
+__all__ = ["FlatRefs", "LocalizeResult", "localize", "sorted_unique_inverse"]
 
 
-@dataclass
+def sorted_unique_inverse(keys: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Sorted unique values of ``keys`` plus the inverse mapping.
+
+    Bit-identical contract to ``np.unique(keys, return_inverse=True)``
+    (ascending uniques, ``uniq[inverse] == keys``) but built from one
+    *direct* sort — no indirect argsort — plus one binary-search pass
+    for the inverse, which is substantially faster on the large int64
+    key streams localize produces.
+    """
+    if not keys.size:
+        return keys.copy(), np.empty(0, dtype=np.int64)
+    sorted_keys = np.sort(keys)
+    new_group = np.empty(sorted_keys.size, dtype=bool)
+    new_group[0] = True
+    np.not_equal(sorted_keys[1:], sorted_keys[:-1], out=new_group[1:])
+    uniq = sorted_keys[new_group]
+    inverse = np.searchsorted(uniq, keys)
+    return uniq, inverse
+
+
 class LocalizeResult:
     """Everything an executor needs for one access pattern.
 
     The canonical storage is flat (``refs_flat`` + ``ref_bounds``,
     ``ghost_flat`` + ``ghost_bounds``); the per-processor ``local_refs``
-    and ``ghost_globals`` lists are zero-copy views into it, kept for
-    the executor's per-processor compute loop and for tests.
+    and ``ghost_globals`` lists are zero-copy views into it, materialized
+    lazily the first time a caller asks (compat and tests — hot paths
+    stay flat).
 
     Attributes
     ----------
@@ -70,14 +97,75 @@ class LocalizeResult:
         Flat CSR form of ``ghost_globals``.
     """
 
-    local_refs: list[np.ndarray]
-    ghost_globals: list[np.ndarray]
-    local_sizes: list[int]
-    schedule: CommSchedule
-    refs_flat: np.ndarray | None = None
-    ref_bounds: np.ndarray | None = None
-    ghost_flat: np.ndarray | None = None
-    ghost_bounds: np.ndarray | None = None
+    def __init__(
+        self,
+        local_refs: "list[np.ndarray] | None" = None,
+        ghost_globals: "list[np.ndarray] | None" = None,
+        local_sizes: "list[int] | None" = None,
+        schedule: CommSchedule | None = None,
+        refs_flat: np.ndarray | None = None,
+        ref_bounds: np.ndarray | None = None,
+        ghost_flat: np.ndarray | None = None,
+        ghost_bounds: np.ndarray | None = None,
+    ):
+        if local_refs is None and refs_flat is None:
+            raise ValueError("need local_refs or refs_flat")
+        if refs_flat is not None and ref_bounds is None:
+            raise ValueError("refs_flat needs its ref_bounds CSR array")
+        if ghost_flat is not None and ghost_bounds is None:
+            raise ValueError("ghost_flat needs its ghost_bounds CSR array")
+        self._local_refs = local_refs
+        self._ghost_globals = ghost_globals
+        self.local_sizes = local_sizes
+        self.schedule = schedule
+        self._refs_flat = refs_flat
+        self._ref_bounds = ref_bounds
+        self._ghost_flat = ghost_flat
+        self._ghost_bounds = ghost_bounds
+
+    # -- flat accessors (canonical) ----------------------------------------
+    @property
+    def refs_flat(self) -> np.ndarray:
+        if self._refs_flat is None:
+            flat = FlatRefs.from_lists(self._local_refs)
+            self._refs_flat, self._ref_bounds = flat.values, flat.bounds
+        return self._refs_flat
+
+    @property
+    def ref_bounds(self) -> np.ndarray:
+        self.refs_flat
+        return self._ref_bounds
+
+    @property
+    def ghost_flat(self) -> np.ndarray:
+        if self._ghost_flat is None:
+            flat = FlatRefs.from_lists(self._ghost_globals)
+            self._ghost_flat, self._ghost_bounds = flat.values, flat.bounds
+        return self._ghost_flat
+
+    @property
+    def ghost_bounds(self) -> np.ndarray:
+        self.ghost_flat
+        return self._ghost_bounds
+
+    # -- per-processor list views (lazy compat) ----------------------------
+    @property
+    def local_refs(self) -> list[np.ndarray]:
+        if self._local_refs is None:
+            b = self._ref_bounds
+            self._local_refs = [
+                self._refs_flat[b[p] : b[p + 1]] for p in range(b.size - 1)
+            ]
+        return self._local_refs
+
+    @property
+    def ghost_globals(self) -> list[np.ndarray]:
+        if self._ghost_globals is None:
+            b = self._ghost_bounds
+            self._ghost_globals = [
+                self._ghost_flat[b[p] : b[p + 1]] for p in range(b.size - 1)
+            ]
+        return self._ghost_globals
 
     def split(self, p: int) -> tuple[np.ndarray, np.ndarray]:
         """Boolean masks (is_local, is_ghost) for processor ``p``'s refs."""
@@ -112,40 +200,44 @@ def localize(
     dist = ttable.dist
     flat_refs = refs.values
     sizes = refs.sizes()
-    total = int(flat_refs.size)
     flat_owner, flat_lidx = ttable.dereference_flat(flat_refs, refs.bounds)
 
     local_sizes_arr = dist.local_sizes()
     flat_pid = np.repeat(np.arange(n, dtype=np.int64), sizes)
 
     off = flat_owner != flat_pid
-    n_off = np.bincount(flat_pid[off], minlength=n)
-    # dedup off-processor references per processor with one keyed unique;
-    # np.unique gives deterministic (sorted-global) ghost slot order per
-    # processor, like PARTI's hashed order.  Keys cannot collide across
-    # processors because every global index is < dist.size.
+    off_pid = flat_pid[off]
+    off_refs = flat_refs[off]
+    n_off = np.bincount(off_pid, minlength=n)
+    # dedup off-processor references per processor with one keyed sorted
+    # unique; ascending keys give deterministic (sorted-global) ghost
+    # slot order per processor, like PARTI's hashed order.  Keys cannot
+    # collide across processors because every global index is < dist.size.
     stride = max(dist.size, 1)
-    keys = flat_pid[off] * stride + flat_refs[off]
-    uniq_keys, inverse = np.unique(keys, return_inverse=True)
-    upid = uniq_keys // stride
+    keys = off_pid * stride + off_refs
+    if n * stride <= np.iinfo(np.int32).max:
+        # half-width keys halve the sort/search bandwidth; values are
+        # exact (n * stride bounds every key), so uniques and inverse
+        # are unchanged
+        keys = keys.astype(np.int32)
+    uniq_keys, inverse = sorted_unique_inverse(keys)
+    uniq_keys = uniq_keys.astype(np.int64, copy=False)
+    # per-processor group bounds on the sorted uniques: n+1 binary
+    # searches instead of a bincount over a division-derived pid array
+    ghost_bounds = np.searchsorted(
+        uniq_keys, np.arange(n + 1, dtype=np.int64) * stride
+    )
+    ghost_counts = np.diff(ghost_bounds)
+    upid = np.repeat(np.arange(n, dtype=np.int64), ghost_counts)
     ugidx = uniq_keys - upid * stride
-    ghost_counts = np.bincount(upid, minlength=n)
-    ghost_bounds = np.concatenate(([0], np.cumsum(ghost_counts)))
     slots = np.arange(uniq_keys.size, dtype=np.int64) - ghost_bounds[upid]
     ghost_sizes = [int(c) for c in ghost_counts]
-    ghost_globals = [
-        ugidx[ghost_bounds[p] : ghost_bounds[p + 1]] for p in range(n)
-    ]
 
     # rewrite every reference to a localized index: local offsets stay,
     # off-processor references become local_size + ghost slot
-    localized_flat = np.empty(total, dtype=np.int64)
-    localized_flat[~off] = flat_lidx[~off]
-    localized_flat[off] = local_sizes_arr[flat_pid[off]] + slots[inverse]
+    localized_flat = flat_lidx.copy()
+    localized_flat[off] = local_sizes_arr[off_pid] + slots[inverse]
     ref_bounds = refs.bounds
-    local_refs = [
-        localized_flat[ref_bounds[p] : ref_bounds[p + 1]] for p in range(n)
-    ]
 
     # build schedule entries for each (owner q, requester p) pair: one
     # stable sort groups the unique ghosts requester-major, owner-minor,
@@ -213,8 +305,6 @@ def localize(
         costs=costs,
     )
     return LocalizeResult(
-        local_refs=local_refs,
-        ghost_globals=ghost_globals,
         local_sizes=[int(s) for s in local_sizes_arr],
         schedule=schedule,
         refs_flat=localized_flat,

@@ -30,8 +30,7 @@ def _validate(items) -> Machine:
         if sched.machine is not machine:
             raise ValueError("schedules live on different machines")
         sched._check_array(arr)
-        bufs = ghosts.buffers if isinstance(ghosts, GhostBuffers) else ghosts
-        sched._check_ghosts(bufs)
+        sched._resolve_ghosts(ghosts)
     return machine
 
 
@@ -76,8 +75,7 @@ def gather_merged(
     unpack = np.zeros(n)
     srcs, dsts, nbytes = [], [], []
     for sched, arr, ghosts in items:
-        bufs = ghosts.buffers if isinstance(ghosts, GhostBuffers) else ghosts
-        sched._move_gather(arr, bufs)
+        sched._move_gather(arr, ghosts)
         pack += sched._pack_mem
         unpack += sched._unpack_mem
         srcs.append(sched._pair_q)
@@ -111,7 +109,6 @@ def scatter_op_merged(
         if sched.machine is not machine:
             raise ValueError("schedules live on different machines")
         sched._check_array(arr)
-        sched._check_ghosts(bufs)
         if not hasattr(op, "at"):
             raise TypeError(f"op must be a NumPy ufunc with .at, got {op!r}")
         sched._move_reverse(bufs, arr, op)

@@ -18,14 +18,17 @@ Internally the per-pair lists are flattened once, at construction, into
 CSR-style arrays grouped by owner (pack side) and by requester (unpack
 side); hot callers construct directly from flat arrays via
 :meth:`CommSchedule.from_flat` (the pair dicts become lazy compat
-views).  The array side of an application is then *one* fancy-index
-over the ``DistArray``'s flat backing storage (pack, scatter store, or
-a single ``ufunc.at`` for reductions); only the ghost-buffer unpack
-still walks receiving processors.  Element order inside the flat arrays
-is pair insertion order and pack positions are grouped by owner
-ascending, so duplicate-slot semantics (last writer wins) and
-floating-point accumulation order are identical to the historical
-per-pair loop.
+views).  Both sides of an application are then single fancy-indexes:
+the array side over the ``DistArray``'s flat backing storage (pack,
+scatter store, or one ``ufunc.at`` for reductions), and the ghost side
+over a flat CSR ghost backing (``GhostBuffers`` stores every
+processor's buffer in one array; unpack slots resolve to *ghost backing
+positions* ``ghost_offset[p] + slot`` precomputed at construction).
+Callers may still pass per-processor buffer lists, which fall back to a
+compat loop.  Element order inside the flat arrays is pair insertion
+order and pack positions are grouped by owner ascending, so
+duplicate-slot semantics (last writer wins) and floating-point
+accumulation order are identical to the historical per-pair loop.
 
 A schedule is *bound to a distribution signature*: applying it to an
 array whose distribution has changed since inspection is a hard error
@@ -223,6 +226,17 @@ class CommSchedule:
         recv_counts = np.bincount(flat_p, minlength=n) if flat_p.size else np.zeros(n, dtype=np.int64)
         self._unpack_offsets = np.concatenate(([0], np.cumsum(recv_counts)))
         self._unpack_procs = np.flatnonzero(recv_counts)
+        # flat-ghost-backing resolution: slot s of requester p lives at
+        # ghost backing position ghost_off[p] + s (GhostBuffers layout)
+        self._ghost_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(ghost_sz, out=self._ghost_off[1:])
+        self._unpack_pos = (
+            self._ghost_off[flat_p[recv_order]] + self._unpack_dst
+        )
+        # reverse path, wire order: every wire position is fed by exactly
+        # one ghost backing position, so packing ghosts is one gather
+        self._ghost_pos_wire = np.empty(self._unpack_src.size, dtype=np.int64)
+        self._ghost_pos_wire[self._unpack_src] = self._unpack_pos
 
         # per-processor pack/unpack memory charges (pair-order accumulation,
         # matching the historical per-pair loop bit for bit)
@@ -261,7 +275,36 @@ class CommSchedule:
         if arr.machine is not self.machine:
             raise ValueError("schedule and array live on different machines")
 
-    def _check_ghosts(self, ghosts: list[np.ndarray]) -> None:
+    def _resolve_ghosts(self, ghosts) -> np.ndarray | None:
+        """Resolve ghost storage to its flat CSR backing, if it has one.
+
+        Accepts a :class:`~repro.chaos.buffers.GhostBuffers`-style object
+        (``backing`` + ``offsets`` attributes), a flat 1-D array laid out
+        like one (``ghost_offset[p] + slot``), or the legacy per-processor
+        list of arrays.  Returns the flat backing for the first two forms
+        and ``None`` for the list form (callers fall back to the per-proc
+        compat loop).
+        """
+        backing = getattr(ghosts, "backing", None)
+        if backing is not None:
+            offsets = getattr(ghosts, "offsets", None)
+            if offsets is None or not np.array_equal(offsets, self._ghost_off):
+                raise ValueError(
+                    "ghost buffers laid out for a different schedule: "
+                    f"offsets {offsets!r} != {self._ghost_off!r}"
+                )
+            return backing
+        if isinstance(ghosts, np.ndarray):
+            if ghosts.ndim != 1 or ghosts.size != self._ghost_off[-1]:
+                raise ValueError(
+                    f"flat ghost array has shape {ghosts.shape}, schedule "
+                    f"needs ({int(self._ghost_off[-1])},)"
+                )
+            return ghosts
+        self._check_ghost_list(ghosts)
+        return None
+
+    def _check_ghost_list(self, ghosts: list[np.ndarray]) -> None:
         if len(ghosts) != self.n_procs:
             raise ValueError(
                 f"expected {self.n_procs} ghost buffers, got {len(ghosts)}"
@@ -288,27 +331,44 @@ class CommSchedule:
             self._pack_pos = off[self._pack_owner_rep] + self._pack_idx
         return self._pack_pos
 
-    def _move_gather(self, arr: DistArray, ghosts: list[np.ndarray]) -> None:
+    def _move_gather(self, arr: DistArray, ghosts) -> None:
         """Pack owners' elements onto the wire, unpack into ghost buffers."""
         # one fancy-index over the flat backing packs every owner at once
         wire = arr.backing_ro[self._pack_positions(arr)]
+        backing = self._resolve_ghosts(ghosts)
+        if backing is not None:
+            # one store over the flat ghost backing unpacks every
+            # requester at once; element order is flat (pair) order, so
+            # duplicate-slot last-writer semantics match the old loop
+            backing[self._unpack_pos] = wire[self._unpack_src]
+            return
         off = self._unpack_offsets
         for p in self._unpack_procs:
             seg = slice(off[p], off[p + 1])
             ghosts[p][self._unpack_dst[seg]] = wire[self._unpack_src[seg]]
 
-    def _move_reverse(
-        self,
-        ghosts: list[np.ndarray],
-        arr: DistArray,
-        op: Callable | None,
-    ) -> None:
-        """Pack ghost contributions, store/combine at the owners."""
-        wire = np.empty(self._n_elements, dtype=arr.dtype)
+    def _gather_from_ghosts(self, ghosts, dtype) -> np.ndarray:
+        """Pack ghost contributions onto the wire (reverse direction)."""
+        backing = self._resolve_ghosts(ghosts)
+        if backing is not None:
+            # every wire position is fed by exactly one ghost backing
+            # position: packing all requesters is one gather
+            return backing[self._ghost_pos_wire].astype(dtype, copy=False)
+        wire = np.empty(self._n_elements, dtype=dtype)
         off = self._unpack_offsets
         for p in self._unpack_procs:
             seg = slice(off[p], off[p + 1])
             wire[self._unpack_src[seg]] = ghosts[p][self._unpack_dst[seg]]
+        return wire
+
+    def _move_reverse(
+        self,
+        ghosts,
+        arr: DistArray,
+        op: Callable | None,
+    ) -> None:
+        """Pack ghost contributions, store/combine at the owners."""
+        wire = self._gather_from_ghosts(ghosts, arr.dtype)
         # one store/combine over the flat backing: positions are grouped
         # by owner ascending (pack order), so duplicate-slot and
         # accumulation order match the historical per-owner loop
@@ -325,16 +385,17 @@ class CommSchedule:
     # ------------------------------------------------------------------
     # data movement
     # ------------------------------------------------------------------
-    def gather(self, arr: DistArray, ghosts: list[np.ndarray]) -> None:
+    def gather(self, arr: DistArray, ghosts) -> None:
         """Prefetch off-processor data into ghost buffers (one phase).
 
         For every pair ``(q, p)``: owner ``q`` packs
         ``arr.local(q)[send_lists]`` and requester ``p`` stores the wire
-        data at ``ghosts[p][recv_slots]``.  Charges packing/unpacking
-        memory traffic and the message exchange.
+        data at ``ghosts[p][recv_slots]``.  ``ghosts`` is a
+        ``GhostBuffers``, an equivalently laid-out flat array, or a
+        per-processor list of buffers.  Charges packing/unpacking memory
+        traffic and the message exchange.
         """
         self._check_array(arr)
-        self._check_ghosts(ghosts)
         m = self.machine
         self._move_gather(arr, ghosts)
         m.charge_compute_all(mem=self._pack_mem)
@@ -343,7 +404,7 @@ class CommSchedule:
         )
         m.charge_compute_all(mem=self._unpack_mem)
 
-    def scatter(self, ghosts: list[np.ndarray], arr: DistArray) -> None:
+    def scatter(self, ghosts, arr: DistArray) -> None:
         """Reverse movement, overwrite semantics: ghost copies are sent
         back to the owners and stored (last writer per slot wins in wire
         order -- callers needing determinism use distinct slots)."""
@@ -351,7 +412,7 @@ class CommSchedule:
 
     def scatter_op(
         self,
-        ghosts: list[np.ndarray],
+        ghosts,
         arr: DistArray,
         op: Callable,
         flops_per_element: float = 1.0,
@@ -368,13 +429,12 @@ class CommSchedule:
 
     def _apply_reverse(
         self,
-        ghosts: list[np.ndarray],
+        ghosts,
         arr: DistArray,
         op: Callable | None,
         flops_per_element: float = 1.0,
     ) -> None:
         self._check_array(arr)
-        self._check_ghosts(ghosts)
         m = self.machine
         self._move_reverse(ghosts, arr, op)
         if op is None:

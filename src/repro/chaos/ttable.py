@@ -80,9 +80,10 @@ class TranslationTable(ABC):
 
     def _translate(self, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         g = np.asarray(gidx, dtype=np.int64)
+        owners, lidx = self.dist.translate(g)
         return (
-            np.asarray(self.dist.owner(g), dtype=np.int64),
-            np.asarray(self.dist.local_index(g), dtype=np.int64),
+            np.asarray(owners, dtype=np.int64),
+            np.asarray(lidx, dtype=np.int64),
         )
 
 

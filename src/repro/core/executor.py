@@ -23,7 +23,7 @@ import numpy as np
 
 from repro.chaos.gather_scatter import REDUCTION_OPS
 from repro.chaos.merge import gather_merged, scatter_op_merged
-from repro.core.forall import Assign, Reduce
+from repro.core.forall import Reduce
 from repro.core.inspector import InspectorProduct
 from repro.distribution.distarray import DistArray
 from repro.machine.machine import Machine
@@ -72,6 +72,50 @@ def _check_fresh(product: InspectorProduct, arrays: dict[str, DistArray]) -> Non
             )
 
 
+class _PatternSpace:
+    """Flat *combined space* of one access pattern.
+
+    Per processor the executor reads/writes ``[local segment | ghost
+    buffer]``; concatenating those per-processor blocks over all
+    processors gives one flat combined space.  Localized reference
+    values are per-processor offsets into the block, so adding the
+    block's combined-space offset (indexed by each reference's
+    processor) turns a pattern's flat reference list into direct
+    combined-space positions — all processors' loop bodies then run as
+    single vector ops.
+
+    ``local_sel``/``ghost_sel`` map the ``DistArray`` flat backing and
+    the flat ghost backing into combined-space positions (both are
+    offset-shifted ``arange``s, precomputed once per pattern per
+    execution).
+    """
+
+    def __init__(self, localized, ghosts) -> None:
+        local_sizes = np.asarray(localized.local_sizes, dtype=np.int64)
+        ghost_off = ghosts.offsets
+        local_off = np.zeros(local_sizes.size + 1, dtype=np.int64)
+        np.cumsum(local_sizes, out=local_off[1:])
+        # combined-space offset of processor p's block
+        self.offsets = local_off + ghost_off
+        self.total = int(self.offsets[-1])
+        n_local = int(local_off[-1])
+        n_ghost = int(ghost_off[-1])
+        # backing position l of processor p -> combined local_off[p]+ghost_off[p]+l-local_off[p]
+        rep_local = np.repeat(
+            np.arange(local_sizes.size, dtype=np.int64), local_sizes
+        )
+        self.local_sel = np.arange(n_local, dtype=np.int64) + ghost_off[rep_local]
+        ghost_counts = np.diff(ghost_off)
+        rep_ghost = np.repeat(
+            np.arange(local_sizes.size, dtype=np.int64), ghost_counts
+        )
+        self.ghost_sel = np.arange(n_ghost, dtype=np.int64) + local_off[1:][rep_ghost]
+
+    def refs(self, localized, ref_pid: np.ndarray) -> np.ndarray:
+        """Combined-space position of every localized reference."""
+        return localized.refs_flat + self.offsets[ref_pid]
+
+
 def _execute_once(
     machine: Machine,
     product: InspectorProduct,
@@ -81,7 +125,12 @@ def _execute_once(
 ) -> None:
     loop = product.loop
     n_procs = machine.n_procs
-    iters = product.iteration_partition.iters
+    iter_flat, iter_bounds = product.iteration_partition.iters_flat()
+    n_it = np.diff(iter_bounds)
+    total_iters = int(iter_flat.size)
+    #: processor owning each reference position (flat reference lists of
+    #: every pattern share the iteration bounds)
+    ref_pid = np.repeat(np.arange(n_procs, dtype=np.int64), n_it)
 
     read_keys = {(r.array, r.index) for r in loop.read_refs()}
     # 1. gather all read patterns (one gather per distinct schedule --
@@ -99,18 +148,35 @@ def _execute_once(
         gather_merged(gather_items)
     else:
         for sched, arr, ghosts in gather_items:
-            sched.gather(arr, ghosts.buffers)
+            sched.gather(arr, ghosts)
 
-    # combined views for reads (read-only segment views: acquiring them
+    # flat combined-space setup per pattern, cached on the immutable
+    # product: reuse scenarios execute the same product once per time
+    # step and must not rebuild the selector arrays every time
+    def space_of(key) -> _PatternSpace:
+        pat = product.patterns[key]
+        if pat.exec_space is None:
+            pat.exec_space = _PatternSpace(pat.localized, pat.ghosts)
+        return pat.exec_space
+
+    def refs_of(key) -> np.ndarray:
+        pat = product.patterns[key]
+        if pat.exec_refs is None:
+            pat.exec_refs = space_of(key).refs(pat.localized, ref_pid)
+        return pat.exec_refs
+
+    # combined read arrays: two scatters assemble [local | ghost] blocks
+    # of all processors at once (read-only backing access: acquiring it
     # must not perturb the arrays' content versions)
-    combined: dict[tuple[str, str | None], list[np.ndarray]] = {}
+    combined: dict[tuple[str, str | None], np.ndarray] = {}
     for key in read_keys:
         pat = product.patterns[key]
         arr = arrays[pat.array]
-        combined[key] = [
-            np.concatenate([arr.local_ro(p), pat.ghosts.buf(p)])
-            for p in range(n_procs)
-        ]
+        sp = space_of(key)
+        comb = np.empty(sp.total, dtype=arr.dtype)
+        comb[sp.local_sel] = arr.backing_ro
+        comb[sp.ghost_sel] = pat.ghosts.backing
+        combined[key] = comb
 
     # staging for writes, grouped so patterns sharing one (coalesced)
     # schedule accumulate into one staging and scatter once
@@ -137,90 +203,79 @@ def _execute_once(
             raise ValueError("conflicting kinds in one staging group")
         groups.setdefault(gkey, (key, kind))
 
-    staging: dict[tuple, list[np.ndarray]] = {}
-    assigned_mask: dict[tuple, list[np.ndarray]] = {}
+    staging: dict[tuple, np.ndarray] = {}
+    assigned_mask: dict[tuple, np.ndarray] = {}
     for gkey, (key, kind) in groups.items():
         pat = product.patterns[key]
         arr = arrays[pat.array]
         fill = _IDENTITY[kind] if kind != "assign" else 0.0
-        staging[gkey] = [
-            np.full(
-                pat.localized.local_sizes[p] + pat.ghosts.buf(p).size,
-                fill,
-                dtype=arr.dtype,
-            )
-            for p in range(n_procs)
-        ]
+        staging[gkey] = np.full(space_of(key).total, fill, dtype=arr.dtype)
         if kind == "assign":
-            assigned_mask[gkey] = [
-                np.zeros(staging[gkey][p].size, dtype=bool) for p in range(n_procs)
-            ]
+            assigned_mask[gkey] = np.zeros(staging[gkey].size, dtype=bool)
 
-    # 2. compute
+    # 2. compute: one vector evaluation per statement over every
+    # processor's iterations at once; staging updates are one store (or
+    # one ufunc.at) over combined-space positions.  Flat order is
+    # processor-major with iteration order within, so duplicate-slot and
+    # accumulation semantics match the historical per-processor loop.
     flops = np.zeros(n_procs)
     mem = np.zeros(n_procs)
+    n_it_f = n_it.astype(np.float64)
     for s in loop.statements:
         lhs_key = (s.lhs.array, s.lhs.index)
-        lhs_pat = product.patterns[lhs_key]
-        for p in range(n_procs):
-            n_it = len(iters[p])
-            if n_it == 0:
-                continue
-            operands = []
-            for r in s.reads:
-                rk = (r.array, r.index)
-                rpat = product.patterns[rk]
-                operands.append(combined[rk][p][rpat.localized.local_refs[p]])
-            vals = np.asarray(s.func(*operands))
-            if vals.shape != (n_it,):
-                vals = np.broadcast_to(vals, (n_it,)).copy()
-            gkey = group_of[lhs_key]
-            tgt = staging[gkey][p]
-            refs = lhs_pat.localized.local_refs[p]
-            if isinstance(s, Reduce):
-                REDUCTION_OPS[s.op].at(tgt, refs, vals)
-            else:
-                tgt[refs] = vals
-                assigned_mask[gkey][p][refs] = True
-            flops[p] += s.flops * n_it
-            mem[p] += 2.0 * n_it * (len(s.reads) + 1)
+        operands = [
+            combined[(r.array, r.index)][refs_of((r.array, r.index))]
+            for r in s.reads
+        ]
+        vals = np.asarray(s.func(*operands))
+        if vals.shape != (total_iters,):
+            vals = np.broadcast_to(vals, (total_iters,)).copy()
+        gkey = group_of[lhs_key]
+        tgt = staging[gkey]
+        refs = refs_of(lhs_key)
+        if isinstance(s, Reduce):
+            REDUCTION_OPS[s.op].at(tgt, refs, vals)
+        else:
+            tgt[refs] = vals
+            assigned_mask[gkey][refs] = True
+        flops += s.flops * n_it_f
+        mem += 2.0 * (len(s.reads) + 1) * n_it_f
 
     machine.charge_compute_all(flops=flops * overhead, mem=mem * overhead)
 
-    # 3. merge local staging + scatter ghost staging (once per group)
+    # 3. merge local staging + scatter ghost staging (once per group):
+    # the local part of every processor's staging block is one gather
+    # (``local_sel``) aligned with the DistArray backing, so the merge is
+    # a single masked store (assign) or one vector combine (reduce); the
+    # ghost part (``ghost_sel``) is already in flat ghost-backing layout,
+    # so the schedule scatters it with no per-processor splits.
     merged_reduce_items = []
     for gkey, (key, kind) in groups.items():
         pat = product.patterns[key]
         arr = arrays[pat.array]
-        ghost_bufs = []
+        sp = space_of(key)
+        stage = staging[gkey]
+        stage_local = stage[sp.local_sel]
+        ghost_stage = stage[sp.ghost_sel]
         data = arr.backing_mut()  # one version bump per merged group
-        offsets = arr.distribution.flat_offsets()
-        for p in range(n_procs):
-            nloc = pat.localized.local_sizes[p]
-            stage = staging[gkey][p]
-            seg = data[offsets[p] : offsets[p + 1]]
-            if kind == "assign":
-                m = assigned_mask[gkey][p][:nloc]
-                seg[m] = stage[:nloc][m]
-            else:
-                op = REDUCTION_OPS[kind]
-                op(seg, stage[:nloc], out=seg)
-            ghost_bufs.append(stage[nloc:])
         if kind == "assign":
+            m = assigned_mask[gkey][sp.local_sel]
+            data[m] = stage_local[m]
             # only slots actually assigned may overwrite owner data; we
             # ship staged values for every slot but restrict at the owner
             # by shipping the mask too is overkill at this model fidelity:
             # FORALL semantics forbid partially-assigned ghost patterns,
             # so every ghost slot of an assigned pattern is written.
-            pat.localized.schedule.scatter(ghost_bufs, arr)
-        elif merge_communication:
-            merged_reduce_items.append(
-                (pat.localized.schedule, ghost_bufs, arr, REDUCTION_OPS[kind])
-            )
+            pat.localized.schedule.scatter(ghost_stage, arr)
         else:
-            pat.localized.schedule.scatter_op(
-                ghost_bufs, arr, REDUCTION_OPS[kind]
-            )
+            op = REDUCTION_OPS[kind]
+            op(data, stage_local, out=data)
+            if merge_communication:
+                merged_reduce_items.append(
+                    (pat.localized.schedule, ghost_stage, arr, op)
+                )
+            else:
+                pat.localized.schedule.scatter_op(ghost_stage, arr, op)
         # merge cost: one flop per owned element combined
         machine.charge_compute_all(
             flops=np.asarray(pat.localized.local_sizes, dtype=np.float64)

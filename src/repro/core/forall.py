@@ -18,7 +18,7 @@ charged (the callable's Python cost is not measured).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from repro.chaos.gather_scatter import REDUCTION_OPS

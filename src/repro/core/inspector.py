@@ -17,7 +17,7 @@ buffer locations".
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
@@ -39,12 +39,21 @@ class PatternData:
     several patterns on the same array share one ``LocalizeResult``
     *schedule* and one ghost region; each pattern keeps its own
     ``localized`` view whose ``local_refs`` index the shared space.
+
+    ``exec_space`` / ``exec_refs`` are executor-side caches (see
+    ``repro.core.executor``): pure functions of this immutable product
+    (the ghost backing never reallocates and the iteration partition is
+    fixed), computed lazily on first execution and reused by every
+    subsequent one -- the schedule-reuse scenarios execute the same
+    product once per time step.
     """
 
     array: str
     index: str | None
     localized: LocalizeResult
     ghosts: GhostBuffers
+    exec_space: object | None = field(default=None, repr=False, compare=False)
+    exec_refs: np.ndarray | None = field(default=None, repr=False, compare=False)
 
 
 @dataclass
@@ -96,12 +105,9 @@ def run_inspector(
 
     # flattened iteration partition: reference lists stay in flat
     # (values, bounds) form end to end — one fancy-index over all
-    # iterations, no per-processor splits or concatenations
-    iter_flat = (
-        np.concatenate(itpart.iters) if itpart.iters else np.empty(0, dtype=np.int64)
-    )
-    iter_bounds = np.zeros(n_procs + 1, dtype=np.int64)
-    np.cumsum([it.size for it in itpart.iters], out=iter_bounds[1:])
+    # iterations, no per-processor splits or concatenations (the
+    # partition already stores its flat form; no re-concatenation)
+    iter_flat, iter_bounds = itpart.iters_flat()
 
     def per_proc_refs(index: str | None) -> FlatRefs:
         """Global element indices each processor's iterations touch."""

@@ -50,7 +50,6 @@ from repro.distribution.regular import (
     CyclicDistribution,
 )
 from repro.machine.machine import Machine
-from repro.partitioners.base import PartitionResult
 
 #: integer ops charged per tracked array for one runtime-record check
 CHECK_IOPS_PER_ARRAY = 15.0

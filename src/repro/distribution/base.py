@@ -55,6 +55,19 @@ class Distribution(ABC):
         """Number of elements stored on processor ``p``."""
 
     # -- derived ------------------------------------------------------------
+    def translate(self, gidx) -> tuple[np.ndarray, np.ndarray]:
+        """``(owner, local offset)`` of each global index in one call.
+
+        Hot translation paths (translation tables) use this so
+        implementations can validate the index stream once and share
+        intermediate work between the two lookups; the generic version
+        just delegates.
+        """
+        return (
+            np.asarray(self.owner(gidx), dtype=np.int64),
+            np.asarray(self.local_index(gidx), dtype=np.int64),
+        )
+
     def local_indices(self, p: int) -> np.ndarray:
         """Global indices owned by processor ``p``, in local-offset order."""
         self._check_proc(p)

@@ -55,13 +55,18 @@ class IrregularDistribution(Distribution):
         g = self._check_gidx(gidx)
         return self._local[g]
 
+    def translate(self, gidx):
+        # one range validation, two dense gathers
+        g = self._check_gidx(gidx)
+        return self._owners[g], self._local[g]
+
     def global_index(self, p: int, lidx):
         self._check_proc(p)
-        l = np.asarray(lidx, dtype=np.int64)
+        li = np.asarray(lidx, dtype=np.int64)
         n = self._counts[p]
-        if l.size and (l.min() < 0 or l.max() >= n):
+        if li.size and (li.min() < 0 or li.max() >= n):
             raise IndexError(f"local index out of range [0, {n}) on processor {p}")
-        return self._by_proc[p][l]
+        return self._by_proc[p][li]
 
     def local_size(self, p: int) -> int:
         self._check_proc(p)

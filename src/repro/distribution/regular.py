@@ -30,11 +30,11 @@ class BlockDistribution(Distribution):
 
     def global_index(self, p: int, lidx):
         self._check_proc(p)
-        l = np.asarray(lidx, dtype=np.int64)
+        li = np.asarray(lidx, dtype=np.int64)
         n = self.local_size(p)
-        if l.size and (l.min() < 0 or l.max() >= n):
+        if li.size and (li.min() < 0 or li.max() >= n):
             raise IndexError(f"local index out of range [0, {n}) on processor {p}")
-        return p * self.chunk + l
+        return p * self.chunk + li
 
     def local_size(self, p: int) -> int:
         self._check_proc(p)
@@ -75,11 +75,11 @@ class CyclicDistribution(Distribution):
 
     def global_index(self, p: int, lidx):
         self._check_proc(p)
-        l = np.asarray(lidx, dtype=np.int64)
+        li = np.asarray(lidx, dtype=np.int64)
         n = self.local_size(p)
-        if l.size and (l.min() < 0 or l.max() >= n):
+        if li.size and (li.min() < 0 or li.max() >= n):
             raise IndexError(f"local index out of range [0, {n}) on processor {p}")
-        return l * self.n_procs + p
+        return li * self.n_procs + p
 
     def local_size(self, p: int) -> int:
         self._check_proc(p)
@@ -129,11 +129,11 @@ class BlockCyclicDistribution(Distribution):
 
     def global_index(self, p: int, lidx):
         self._check_proc(p)
-        l = np.asarray(lidx, dtype=np.int64)
+        li = np.asarray(lidx, dtype=np.int64)
         n = self.local_size(p)
-        if l.size and (l.min() < 0 or l.max() >= n):
+        if li.size and (li.min() < 0 or li.max() >= n):
             raise IndexError(f"local index out of range [0, {n}) on processor {p}")
-        local_blk, off = l // self.block, l % self.block
+        local_blk, off = li // self.block, li % self.block
         return (local_blk * self.n_procs + p) * self.block + off
 
     def local_size(self, p: int) -> int:

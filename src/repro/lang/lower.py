@@ -152,13 +152,13 @@ def _eval_const(expr, env: dict[str, float]) -> float:
         except KeyError:
             raise KeyError(f"size symbol {expr.name!r} has no bound value") from None
     if isinstance(expr, BinOp):
-        l, r = _eval_const(expr.left, env), _eval_const(expr.right, env)
+        lhs, rhs = _eval_const(expr.left, env), _eval_const(expr.right, env)
         return {
-            "+": l + r,
-            "-": l - r,
-            "*": l * r,
-            "/": l / r,
-            "**": l**r,
+            "+": lhs + rhs,
+            "-": lhs - rhs,
+            "*": lhs * rhs,
+            "/": lhs / rhs,
+            "**": lhs**rhs,
         }[expr.op]
     if isinstance(expr, UnOp):
         return -_eval_const(expr.operand, env)

@@ -1,0 +1,299 @@
+"""Flat-GhostBuffers equivalence: one backing array vs the seed per-proc lists.
+
+``GhostBuffers`` historically held one NumPy array per processor and the
+schedule unpacked with a loop over receiving processors; both are now one
+flat CSR backing with single fancy-index applications.  These tests keep
+the seed semantics as a naive reference (per-processor zero arrays, a
+per-processor charge loop, and the per-proc list application path, which
+``CommSchedule`` still accepts) and check over randomized schedules that
+
+* allocation produces the same buffers and bit-identical machine charges,
+* gather / scatter / scatter_op through the flat backing match the
+  per-proc-list path in contents, clocks and counters (including the
+  order-sensitive duplicate-slot cases), and
+* the localize dedup kernel (`sorted_unique_inverse`) honors the
+  ``np.unique(..., return_inverse=True)`` contract exactly, so ghost
+  slot order is unchanged from the seed.
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos import GhostBuffers, build_translation_table, localize
+from repro.chaos.costs import DEFAULT_COSTS
+from repro.chaos.localize import sorted_unique_inverse
+from repro.chaos.schedule import CommSchedule
+from repro.distribution import BlockDistribution, DistArray, IrregularDistribution
+from repro.machine import Machine
+
+
+# ----------------------------------------------------------------------
+# naive reference: the seed's per-processor GhostBuffers semantics
+# ----------------------------------------------------------------------
+class NaiveGhostBuffers:
+    """Seed implementation: one array per processor, per-proc charge loop."""
+
+    def __init__(self, machine, schedule, dtype=np.float64, costs=DEFAULT_COSTS):
+        self.dtype = np.dtype(dtype)
+        self.bufs = [
+            np.zeros(schedule.ghost_sizes[p], dtype=self.dtype)
+            for p in range(machine.n_procs)
+        ]
+        machine.charge_compute_all(
+            iops=[costs.buffer_assign * s for s in schedule.ghost_sizes]
+        )
+
+    def fill(self, value):
+        for b in self.bufs:
+            b.fill(value)
+
+
+def random_schedule(rng, machine, arr, max_ghost=10):
+    """Random schedule against ``arr`` (duplicate slots allowed)."""
+    n = machine.n_procs
+    min_local = min(arr.distribution.local_size(p) for p in range(n))
+    ghost_sizes = [int(rng.integers(0, max_ghost + 1)) for _ in range(n)]
+    send, recv = {}, {}
+    for q in range(n):
+        for p in range(n):
+            if rng.random() < 0.5:
+                continue
+            count = 0 if ghost_sizes[p] == 0 else int(rng.integers(0, 2 * ghost_sizes[p]))
+            send[(q, p)] = rng.integers(0, max(min_local, 1), size=count)
+            recv[(q, p)] = rng.integers(0, max(ghost_sizes[p], 1), size=count)
+    return CommSchedule(
+        machine, arr.distribution.signature(), send, recv, ghost_sizes
+    )
+
+
+def make_world(n_procs, size, seed):
+    machine = Machine(
+        n_procs, topology="full" if n_procs & (n_procs - 1) else "hypercube"
+    )
+    dist = BlockDistribution(size, n_procs)
+    rng = np.random.default_rng(seed)
+    arr = DistArray.from_global(machine, dist, rng.normal(size=size), name="x")
+    return machine, arr
+
+
+def clocks(machine):
+    return [machine.procs[p].stats.clock for p in range(machine.n_procs)]
+
+
+def counters(machine):
+    return [
+        (
+            s.stats.messages_sent,
+            s.stats.messages_received,
+            s.stats.bytes_sent,
+            s.stats.bytes_received,
+            s.stats.flops,
+            s.stats.iops,
+            s.stats.mem_ops,
+        )
+        for s in machine.procs
+    ]
+
+
+CASES = [(2, 16, 0), (3, 27, 1), (4, 48, 2), (8, 96, 3)]
+
+
+# ----------------------------------------------------------------------
+# allocation / views / fill / charging
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_procs,size,seed", CASES)
+def test_allocation_matches_seed(n_procs, size, seed):
+    rng = np.random.default_rng(seed)
+    m_flat, arr_flat = make_world(n_procs, size, seed)
+    m_ref, arr_ref = make_world(n_procs, size, seed)
+    sched_flat = random_schedule(rng, m_flat, arr_flat)
+    rng = np.random.default_rng(seed)
+    sched_ref = random_schedule(rng, m_ref, arr_ref)
+
+    flat = GhostBuffers(m_flat, sched_flat)
+    ref = NaiveGhostBuffers(m_ref, sched_ref)
+
+    assert flat.total_elements() == sum(b.size for b in ref.bufs)
+    for p in range(n_procs):
+        np.testing.assert_array_equal(flat.buf(p), ref.bufs[p])
+    assert clocks(m_flat) == clocks(m_ref)
+    assert counters(m_flat) == counters(m_ref)
+
+
+def test_buf_views_are_live_and_fill_is_flat():
+    m, arr = make_world(4, 32, 9)
+    rng = np.random.default_rng(9)
+    sched = random_schedule(rng, m, arr)
+    gb = GhostBuffers(m, sched)
+    if gb.buf(0).size:
+        gb.buf(0)[:] = 7.5
+        assert np.all(gb.backing[: gb.offsets[1]] == 7.5)
+    gb.buffers[-1][:] = -2.0
+    np.testing.assert_array_equal(gb.buf(m.n_procs - 1), gb.backing[gb.offsets[-2] :])
+    gb.fill(3.0)
+    assert np.all(gb.backing == 3.0)
+    ref = NaiveGhostBuffers(Machine(4), sched)
+    ref.fill(3.0)
+    for p in range(4):
+        np.testing.assert_array_equal(gb.buf(p), ref.bufs[p])
+
+
+def test_charge_flag_skips_charging():
+    m, arr = make_world(2, 8, 0)
+    rng = np.random.default_rng(0)
+    sched = random_schedule(rng, m, arr)
+    before = clocks(m)
+    GhostBuffers(m, sched, charge=False)
+    assert clocks(m) == before
+
+
+# ----------------------------------------------------------------------
+# gather / scatter / scatter_op: flat backing vs per-proc list path
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("n_procs,size,seed", CASES)
+def test_gather_flat_matches_list_path(n_procs, size, seed):
+    rng = np.random.default_rng(seed + 50)
+    m_flat, arr_flat = make_world(n_procs, size, seed)
+    m_ref, arr_ref = make_world(n_procs, size, seed)
+    sched_flat = random_schedule(rng, m_flat, arr_flat)
+    rng = np.random.default_rng(seed + 50)
+    sched_ref = random_schedule(rng, m_ref, arr_ref)
+
+    gb = GhostBuffers(m_flat, sched_flat, charge=False)
+    ref_bufs = [np.zeros(s) for s in sched_ref.ghost_sizes]
+
+    sched_flat.gather(arr_flat, gb)
+    sched_ref.gather(arr_ref, ref_bufs)
+
+    for p in range(n_procs):
+        np.testing.assert_array_equal(gb.buf(p), ref_bufs[p])
+    assert clocks(m_flat) == clocks(m_ref)
+    assert counters(m_flat) == counters(m_ref)
+
+
+@pytest.mark.parametrize("n_procs,size,seed", CASES)
+@pytest.mark.parametrize("opname", ["assign", "add", "max", "multiply"])
+def test_reverse_flat_matches_list_path(n_procs, size, seed, opname):
+    rng = np.random.default_rng(seed + 90)
+    m_flat, arr_flat = make_world(n_procs, size, seed)
+    m_ref, arr_ref = make_world(n_procs, size, seed)
+    sched_flat = random_schedule(rng, m_flat, arr_flat)
+    rng = np.random.default_rng(seed + 90)
+    sched_ref = random_schedule(rng, m_ref, arr_ref)
+
+    gb = GhostBuffers(m_flat, sched_flat, charge=False)
+    contrib = np.random.default_rng(seed).normal(size=gb.total_elements())
+    gb.backing[:] = contrib
+    ref_bufs = [
+        contrib[gb.offsets[p] : gb.offsets[p + 1]].copy() for p in range(n_procs)
+    ]
+
+    op = {"assign": None, "add": np.add, "max": np.maximum, "multiply": np.multiply}[
+        opname
+    ]
+    if op is None:
+        sched_flat.scatter(gb, arr_flat)
+        sched_ref.scatter(ref_bufs, arr_ref)
+    else:
+        sched_flat.scatter_op(gb, arr_flat, op)
+        sched_ref.scatter_op(ref_bufs, arr_ref, op)
+
+    np.testing.assert_array_equal(arr_flat.to_global(), arr_ref.to_global())
+    assert clocks(m_flat) == clocks(m_ref)
+    assert counters(m_flat) == counters(m_ref)
+
+
+def test_flat_ndarray_input_is_accepted():
+    """A raw flat array laid out like the ghost backing works directly."""
+    m_a, arr_a = make_world(4, 24, 11)
+    m_b, arr_b = make_world(4, 24, 11)
+    rng = np.random.default_rng(11)
+    sched_a = random_schedule(rng, m_a, arr_a)
+    rng = np.random.default_rng(11)
+    sched_b = random_schedule(rng, m_b, arr_b)
+
+    flat = np.zeros(sum(sched_a.ghost_sizes))
+    gb = GhostBuffers(m_b, sched_b, charge=False)
+    sched_a.gather(arr_a, flat)
+    sched_b.gather(arr_b, gb)
+    np.testing.assert_array_equal(flat, gb.backing)
+
+
+def test_wrong_flat_size_raises():
+    m, arr = make_world(2, 8, 3)
+    rng = np.random.default_rng(3)
+    sched = random_schedule(rng, m, arr)
+    with pytest.raises(ValueError, match="flat ghost array"):
+        sched.gather(arr, np.zeros(sum(sched.ghost_sizes) + 1))
+
+
+def test_foreign_ghostbuffers_layout_raises():
+    m, arr = make_world(2, 8, 4)
+    sched = CommSchedule(
+        m,
+        arr.distribution.signature(),
+        {(0, 1): np.array([0, 1])},
+        {(0, 1): np.array([0, 1])},
+        [0, 2],
+    )
+    other = CommSchedule(
+        m,
+        arr.distribution.signature(),
+        {(1, 0): np.array([0])},
+        {(1, 0): np.array([0])},
+        [1, 0],
+    )
+    gb_other = GhostBuffers(m, other, charge=False)
+    with pytest.raises(ValueError, match="different schedule"):
+        sched.gather(arr, gb_other)
+
+
+# ----------------------------------------------------------------------
+# localize dedup kernel vs np.unique
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(8))
+def test_sorted_unique_inverse_matches_np_unique(seed):
+    rng = np.random.default_rng(seed)
+    n = int(rng.integers(0, 5000))
+    keys = rng.integers(0, max(1, n // 3), size=n).astype(np.int64)
+    uniq, inv = sorted_unique_inverse(keys)
+    want_uniq, want_inv = np.unique(keys, return_inverse=True)
+    np.testing.assert_array_equal(uniq, want_uniq)
+    np.testing.assert_array_equal(uniq[inv], keys)
+    np.testing.assert_array_equal(inv, want_inv)
+
+
+def test_sorted_unique_inverse_empty_and_single():
+    uniq, inv = sorted_unique_inverse(np.empty(0, dtype=np.int64))
+    assert uniq.size == 0 and inv.size == 0
+    uniq, inv = sorted_unique_inverse(np.array([42, 42, 42]))
+    assert uniq.tolist() == [42]
+    assert inv.tolist() == [0, 0, 0]
+
+
+@pytest.mark.parametrize("seed", range(4))
+def test_localize_ghost_order_matches_np_unique(seed):
+    """Ghost slot order must stay np.unique's per-processor sorted order."""
+    rng = np.random.default_rng(seed)
+    n_procs, size = 4, 40
+    m = Machine(n_procs)
+    owner_map = rng.integers(0, n_procs, size=size)
+    dist = IrregularDistribution(owner_map, n_procs)
+    tt = build_translation_table(m, dist)
+    refs = [
+        rng.integers(0, size, size=int(rng.integers(0, 60)))
+        for _ in range(n_procs)
+    ]
+    res = localize(m, tt, [np.asarray(r, dtype=np.int64) for r in refs])
+    owners = np.asarray(dist.owner(np.arange(size)))
+    for p in range(n_procs):
+        off = np.asarray(refs[p])[owners[np.asarray(refs[p], dtype=np.int64)] != p]
+        np.testing.assert_array_equal(res.ghost_globals[p], np.unique(off))
+        # localized indices reproduce the reference stream
+        g = np.arange(size, dtype=np.float64) * 3
+        combined = np.concatenate(
+            [g[dist.local_indices(p)], g[res.ghost_globals[p]]]
+        )
+        np.testing.assert_array_equal(
+            combined[res.local_refs[p]], g[np.asarray(refs[p], dtype=np.int64)]
+        )

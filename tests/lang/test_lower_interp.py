@@ -274,3 +274,18 @@ class TestEndToEnd:
         )
         assert cp.executed_foralls == 0
         assert np.allclose(cp.array_global("Y"), 0)
+
+
+class TestEvalConst:
+    """Constant folding of size/bound expressions (all binary operators)."""
+
+    def test_binop_constants_fold(self):
+        from repro.lang.ast_nodes import BinOp, Num, Var
+        from repro.lang.lower import _eval_const
+
+        env = {"n": 8.0}
+        assert _eval_const(BinOp("+", Num(2), Num(3)), env) == 5.0
+        assert _eval_const(BinOp("-", Num(2), Num(3)), env) == -1.0
+        assert _eval_const(BinOp("*", Var("n"), Num(3)), env) == 24.0
+        assert _eval_const(BinOp("/", Var("n"), Num(2)), env) == 4.0
+        assert _eval_const(BinOp("**", Num(2), Num(5)), env) == 32.0
