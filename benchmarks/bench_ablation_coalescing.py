@@ -7,6 +7,10 @@ independently.  Coalescing localizes the union: each off-processor
 element is fetched once per array, gathers drop to one per array, and
 ghost memory shrinks by the overlap.
 
+Coalescing is the runtime's *default* since PR 5; this ablation keeps
+measuring both sides by passing the flag explicitly -- ``plain`` is the
+opt-out (``coalesce_patterns=False``, the historical per-pattern
+baseline the golden table fixtures pin), ``coalesce`` the default.
 Composes with message merging (bench_ablation_schedule_merge): the
 fully-optimized executor applies both.
 """
@@ -39,7 +43,7 @@ def run_config(mesh, coalesce, merge, sweeps=20):
         for pat in rec.product.patterns.values()
     }
     return {
-        "config": ("coalesce" if coalesce else "plain")
+        "config": ("coalesce (default)" if coalesce else "plain (opt-out)")
         + ("+merge" if merge else ""),
         "executor": prog.phase_time("executor"),
         "messages": int(m.counters.messages_sent.sum()),

@@ -61,7 +61,11 @@ def run_read_heavy(rule, n=2000, n_iter=4000, procs=8, seed=0):
         ),
     }
     loop = read_heavy_loop(n_iter)
-    product = run_inspector(m, loop, arrays, iter_method=rule)
+    # pinned per-pattern schedules: this ablation's thresholds were tuned
+    # before coalescing became the runtime default
+    product = run_inspector(
+        m, loop, arrays, iter_method=rule, coalesce_patterns=False
+    )
     before_bytes = int(m.counters.bytes_sent.sum())
     before_t = m.elapsed()
     run_executor(m, product, arrays, n_times=10)
@@ -116,7 +120,12 @@ def test_symmetric_edge_sweep_ties(benchmark):
             prog = setup_euler_program(m, mesh, seed=0, iter_method=rule)
             loop = euler_edge_loop(mesh)
             product = run_inspector(
-                m, loop, prog.arrays, iter_method=rule, ttables=prog.ttables
+                m,
+                loop,
+                prog.arrays,
+                iter_method=rule,
+                ttables=prog.ttables,
+                coalesce_patterns=False,
             )
             out[rule] = sum(
                 pat.ghosts.total_elements() for pat in product.patterns.values()

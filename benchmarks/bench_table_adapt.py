@@ -1,0 +1,200 @@
+"""Adaptive-mesh inspector cost: full vs. reuse vs. incremental.
+
+The scenario is the adaptive Euler edge sweep
+(``repro.workloads.adaptive``): an RCB-partitioned mesh whose edge list
+is locally re-targeted every epoch at a controlled change fraction
+(1%, 5%, 25% of edges), with a few executor sweeps between adaptations.
+Two runs per configuration, compared on *simulated* inspector cost:
+
+* **reuse** -- the paper's conservative Section 3 check: the inspector
+  re-runs **in full at each adaptation** and is reused between them
+  (each of those re-inspections is exactly the cost a no-reuse strawman
+  would pay every sweep: ``full_inspect_per_adapt`` in the JSON);
+* **incremental** -- the ``repro.adapt`` subsystem: at each adaptation
+  the saved product is diffed and patched, charged only for the delta
+  (``patch_per_adapt``).
+
+The headline number is ``speedup``: simulated cost of one full
+re-inspection at an adaptation divided by the cost of one incremental
+patch of the same adaptation.  Writes
+``benchmarks/out/BENCH_adapt.json``.
+
+Run standalone (``python benchmarks/bench_table_adapt.py [--procs P ...]
+[--fractions F ...] [--nodes N]``) or under pytest
+(``pytest -s benchmarks/bench_table_adapt.py``).  CI runs a tiny-scale
+smoke (``--tiny``) and uploads the JSON.
+"""
+
+import argparse
+import json
+import os
+import time
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+MESH_CACHE_DIR = os.path.join(OUT_DIR, "mesh_cache")
+JSON_PATH = os.path.join(OUT_DIR, "BENCH_adapt.json")
+
+N_NODES = 50000
+PROC_COUNTS = [64, 256]
+FRACTIONS = [0.01, 0.05, 0.25]
+EPOCHS = 3  # adaptations per run (plus the initial inspection)
+SWEEPS_PER_EPOCH = 2
+
+TINY_NODES = 1200
+TINY_PROCS = [16]
+
+
+def _build_program(mesh, n_procs, incremental):
+    from repro.machine import Machine
+    from repro.workloads.euler import setup_euler_program
+
+    machine = Machine(n_procs)
+    prog = setup_euler_program(machine, mesh, seed=0, incremental=incremental)
+    prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
+    prog.set_distribution("fmt", "G", "RCB")
+    prog.redistribute("reg", "fmt")
+    return machine, prog
+
+
+def _run_mode(mesh, schedule, n_procs, incremental, epochs, sweeps):
+    """One adaptive run; returns (machine, program, driver, wall_seconds)."""
+    from repro import AdaptiveExecutor
+    from repro.workloads.adaptive import apply_adaptation
+    from repro.workloads.euler import euler_edge_loop
+
+    t0 = time.perf_counter()
+    machine, prog = _build_program(mesh, n_procs, incremental)
+    driver = AdaptiveExecutor(prog, euler_edge_loop(mesh))
+    driver.run(sweeps)
+    for epoch in range(epochs):
+        apply_adaptation(prog, schedule.updates[epoch])
+        driver.run(sweeps)
+    wall = time.perf_counter() - t0
+    return machine, prog, driver, wall
+
+
+def run_adapt_bench(
+    proc_counts=PROC_COUNTS,
+    fractions=FRACTIONS,
+    n_nodes=N_NODES,
+    epochs=EPOCHS,
+    sweeps=SWEEPS_PER_EPOCH,
+):
+    from repro.workloads.adaptive import build_refinement_schedule
+    from repro.workloads.mesh import generate_mesh
+
+    mesh = generate_mesh(n_nodes, seed=0, cache_dir=MESH_CACHE_DIR)
+    runs = []
+    for fraction in fractions:
+        schedule = build_refinement_schedule(mesh, fraction, epochs, seed=7)
+        n_changed = [u.n_changed for u in schedule.updates]
+        for n_procs in proc_counts:
+            _, prog_r, drv_r, wall_r = _run_mode(
+                mesh, schedule, n_procs, False, epochs, sweeps
+            )
+            m_i, prog_i, drv_i, wall_i = _run_mode(
+                mesh, schedule, n_procs, True, epochs, sweeps
+            )
+            # adaptation-step costs: skip the initial inspection (step 0)
+            adapt_fulls = [
+                r["inspector_time"]
+                for r in drv_r.history[1:]
+                if r["mode"] == "full"
+            ]
+            patches = [
+                r["inspector_time"] for r in drv_i.history if r["mode"] == "patch"
+            ]
+            if len(adapt_fulls) != epochs or len(patches) != epochs:
+                raise RuntimeError(
+                    f"unexpected step modes: {len(adapt_fulls)} full "
+                    f"re-inspections, {len(patches)} patches (want {epochs})"
+                )
+            full_per_adapt = sum(adapt_fulls) / len(adapt_fulls)
+            patch_per_adapt = sum(patches) / len(patches)
+            runs.append(
+                {
+                    "n_procs": n_procs,
+                    "fraction": fraction,
+                    "n_edges": mesh.n_edges,
+                    "n_changed_edges": n_changed,
+                    "full_inspect_per_adapt": full_per_adapt,
+                    "patch_per_adapt": patch_per_adapt,
+                    "speedup": full_per_adapt / patch_per_adapt,
+                    "inspector_total_reuse": drv_r.inspector_time(),
+                    "inspector_total_incremental": drv_i.inspector_time(),
+                    "patch_hits": prog_i.patch_hits,
+                    "full_runs_incremental": prog_i.inspector_runs,
+                    "wall_seconds_reuse": round(wall_r, 3),
+                    "wall_seconds_incremental": round(wall_i, 3),
+                }
+            )
+            print(
+                f"  P={n_procs:>4} frac={fraction:>5.0%}  "
+                f"full={full_per_adapt:.4f}s  patch={patch_per_adapt:.4f}s  "
+                f"speedup={full_per_adapt / patch_per_adapt:5.1f}x"
+            )
+    return {
+        "scenario": "adaptive_euler_refinement",
+        "n_nodes": n_nodes,
+        "epochs": epochs,
+        "sweeps_per_epoch": sweeps,
+        "partitioner": "RCB",
+        "runs": runs,
+    }
+
+
+def write_report(record, path=JSON_PATH):
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(path, "w") as fh:
+        json.dump(record, fh, indent=2)
+    return path
+
+
+def _check_speedups(record, threshold=2.0, max_fraction=0.05):
+    """Incremental must beat full re-inspection >= threshold x at small
+    change fractions (the subsystem's acceptance bar)."""
+    for run in record["runs"]:
+        if run["fraction"] <= max_fraction:
+            assert run["speedup"] >= threshold, (
+                f"P={run['n_procs']} fraction={run['fraction']}: "
+                f"incremental speedup {run['speedup']:.2f}x < {threshold}x"
+            )
+
+
+def test_adapt_bench():
+    tiny = os.environ.get("REPRO_ADAPT_TINY", "") not in ("", "0")
+    record = run_adapt_bench(
+        proc_counts=TINY_PROCS if tiny else PROC_COUNTS,
+        n_nodes=TINY_NODES if tiny else N_NODES,
+    )
+    path = write_report(record)
+    print(f"\n[adapt bench written to {path}]")
+    _check_speedups(record)
+
+
+def _parse_args(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Adaptive-mesh incremental-inspection benchmark."
+    )
+    parser.add_argument("--procs", nargs="*", type=int, default=None)
+    parser.add_argument("--fractions", nargs="*", type=float, default=None)
+    parser.add_argument("--nodes", type=int, default=None)
+    parser.add_argument(
+        "--tiny",
+        action="store_true",
+        help=f"CI smoke scale: {TINY_NODES} nodes, P={TINY_PROCS}",
+    )
+    return parser.parse_args(argv)
+
+
+if __name__ == "__main__":
+    args = _parse_args()
+    record = run_adapt_bench(
+        proc_counts=args.procs or (TINY_PROCS if args.tiny else PROC_COUNTS),
+        fractions=args.fractions or FRACTIONS,
+        n_nodes=args.nodes or (TINY_NODES if args.tiny else N_NODES),
+    )
+    path = write_report(record)
+    print(json.dumps(record, indent=2))
+    print(f"[written to {path}]")
+    _check_speedups(record)

@@ -17,6 +17,9 @@ The package rebuilds the paper's full stack in Python:
   descriptors, the nmod/last_mod registry, the conservative schedule-
   reuse check, GeoCoL construction, the mapper coupler, iteration
   partitioning, and the inspector/executor transformation;
+* :mod:`repro.adapt` -- incremental inspection for adaptive codes:
+  region-level dirty tracking, reference diffing, and schedule/ghost
+  patching instead of full re-inspection;
 * :mod:`repro.lang` -- a Fortran-90D-like directive frontend that
   performs the paper's compile-time transformation (Figure 6);
 * :mod:`repro.workloads` -- unstructured-mesh (Euler) and molecular-
@@ -73,6 +76,7 @@ from repro.core import (
     IrregularProgram,
 )
 from repro.partitioners import get_partitioner, available_partitioners
+from repro.adapt import AdaptiveExecutor
 
 __version__ = "1.0.0"
 
@@ -101,6 +105,7 @@ __all__ = [
     "run_inspector",
     "run_executor",
     "IrregularProgram",
+    "AdaptiveExecutor",
     "get_partitioner",
     "available_partitioners",
     "__version__",

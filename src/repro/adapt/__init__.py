@@ -1,0 +1,69 @@
+"""``repro.adapt``: incremental inspection for adaptive codes.
+
+The paper's Section 3 reuse check is binary: if *any* write may have
+touched an indirection array's DAD since loop L was inspected, L's whole
+inspector re-runs.  Adaptive codes (mesh refinement, repartitioning MD
+pair lists) modify a few percent of an indirection array every few dozen
+time steps and pay the full inspector each time.  This subsystem is the
+CHAOS-lineage follow-on: when the conservative check fails *only*
+because indirection values changed (condition 3, with every DAD intact),
+it diffs the current indirection values against a snapshot taken at the
+last inspection, computes exactly which references moved, and **patches**
+the saved :class:`~repro.core.inspector.InspectorProduct` -- re-voting
+only the changed iterations, translating only the added references (one
+``dereference_flat`` over the delta), and retiring/appending ghost slots
+in place -- while charging the simulated machine only for the delta
+work.  The patched product is equivalent to a from-scratch inspection:
+same iteration partition, same ghost sets, same communication pairs and
+wire contents, bit-identical executor results and executor charges.
+
+Layout contract (mirrors ``buffers.py``/``distarray.py``)
+---------------------------------------------------------
+Per pattern *group* (the patterns sharing one coalesced schedule), ghost
+slots live in one CSR slot space: processor ``p`` owns slots
+``slot_bounds[p]:slot_bounds[p+1]`` and slot ``s`` of ``p`` has global
+slot id ``slot_bounds[p] + s``.  Patching is **append-only with holes**:
+
+* a retained ghost keeps its per-processor slot index forever -- saved
+  localized reference lists, schedule recv slots, and ghost-buffer
+  positions for unchanged references stay valid across any number of
+  patches;
+* a ghost whose reference count drops to zero is *retired* in place:
+  its slot becomes a hole (it leaves the schedule, its contents are
+  never read again) but later slots do not shift;
+* new ghosts first *reuse* holes (ascending slot order within each
+  processor), then *append* at the end of the processor's region, so a
+  region only ever grows by the number of never-before-seen ghosts.
+
+``GroupState`` tracks, per global slot id: the ghost's global array
+index (``keys``; stale in holes until reused), its owner and owner-local
+offset (``owners``/``lidx``; valid while the distribution signature is
+unchanged, which conditions 1-2 guarantee), and the live reference count
+(``counts``; 0 marks a hole).  A patched
+:class:`~repro.chaos.localize.LocalizeResult` stores the full slot-space
+``ghost_flat`` with holes marked ``-1``.
+"""
+
+from repro.adapt.diff import (
+    changed_at,
+    changed_positions,
+    expand_ranges,
+    ranges_from_positions,
+)
+from repro.adapt.driver import AdaptiveExecutor, IncrementalInspector
+from repro.adapt.patch import PatchResult, patch_product
+from repro.adapt.state import GroupState, LoopAdaptState, build_adapt_state
+
+__all__ = [
+    "AdaptiveExecutor",
+    "IncrementalInspector",
+    "GroupState",
+    "LoopAdaptState",
+    "build_adapt_state",
+    "PatchResult",
+    "patch_product",
+    "changed_at",
+    "changed_positions",
+    "expand_ranges",
+    "ranges_from_positions",
+]

@@ -1,0 +1,226 @@
+"""Routing: full-inspect / reuse / incremental-patch per time step.
+
+:class:`IncrementalInspector` is the program-facing side of the
+subsystem.  ``IrregularProgram`` (with ``incremental=True``) consults it
+when the Section 3 reuse check fails:
+
+* a **condition 1/2** failure (a DAD changed -- some array was
+  remapped or resized) is unpatchable: saved owners, local offsets and
+  schedules are void; the full inspector runs and fresh adapt state is
+  captured;
+* a **condition 3** failure (indirection *values* may have changed)
+  is diffed: if every stale indirection has region information and the
+  changed-value fraction is under ``max_change_fraction``, the saved
+  product is patched (:func:`~repro.adapt.patch.patch_product`);
+  otherwise the full inspector runs.
+
+:class:`AdaptiveExecutor` is a thin driver for adaptive workloads: it
+steps a loop, classifies each step (``full`` / ``reuse`` / ``patch``)
+and records the simulated inspector cost per step -- what
+``benchmarks/bench_table_adapt.py`` reports.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adapt.diff import changed_at, expand_ranges
+from repro.adapt.patch import (
+    DIFF_IOPS_PER_ELEMENT,
+    PatchResult,
+    patch_product,
+)
+from repro.adapt.state import build_adapt_state, charge_state_build
+from repro.chaos.ttable import build_translation_table
+from repro.core.dad import DAD
+from repro.core.forall import ForallLoop
+from repro.core.records import InspectorRecord
+from repro.core.reuse import ReuseDecision
+
+#: fixed integer ops for deciding whether a reuse failure is patchable
+PATCH_CHECK_IOPS = 10.0
+
+
+class IncrementalInspector:
+    """Per-program incremental-inspection state and patch routing."""
+
+    def __init__(self, program, max_change_fraction: float = 0.35):
+        if not 0.0 < max_change_fraction <= 1.0:
+            raise ValueError(
+                f"max_change_fraction must be in (0, 1], got {max_change_fraction}"
+            )
+        self.program = program
+        self.max_change_fraction = max_change_fraction
+        self.states: dict[str, object] = {}
+        #: stats of the most recent successful patch (bench introspection)
+        self.last_patch: PatchResult | None = None
+        #: the exception that aborted the most recent patch attempt, if
+        #: any -- the driver recovered by falling back to full inspection
+        self.last_error: Exception | None = None
+
+    # ------------------------------------------------------------------
+    def after_inspect(self, loop: ForallLoop, record: InspectorRecord) -> None:
+        """Capture fresh adapt state after a full inspection (charged)."""
+        arrays = self.program.arrays
+        self.states[loop.name] = build_adapt_state(record.product, arrays)
+        charge_state_build(self.program.machine, record.product, arrays)
+
+    # ------------------------------------------------------------------
+    def attempt(
+        self, loop: ForallLoop, record: InspectorRecord, decision: ReuseDecision
+    ):
+        """Try to patch after a failed reuse check; ``None`` means the
+        caller must run the full inspector."""
+        if decision.condition != 3:
+            # conditions are checked in order, so condition 3 implies
+            # every DAD is intact -- the only patchable failure mode
+            return None
+        state = self.states.get(loop.name)
+        if state is None:
+            return None
+        machine = self.program.machine
+        registry = self.program.registry
+        arrays = self.program.arrays
+        stale = [
+            name
+            for name, stamp in record.ind_last_mod.items()
+            if registry.last_mod(DAD.of(arrays[name])) != stamp
+        ]
+        dirty: dict[str, np.ndarray] = {}
+        for name in stale:
+            ranges = registry.dirty_ranges(
+                DAD.of(arrays[name]), since=record.ind_last_mod[name]
+            )
+            if ranges is None:
+                # some write carried no region info: anything may have
+                # changed -- fall back to the conservative full inspector
+                return None
+            dirty[name] = ranges
+
+        with machine.phase("inspector"):
+            machine.charge_compute_all(iops=PATCH_CHECK_IOPS)
+            # diff: each owner compares its share of the dirty windows
+            changed: dict[str, np.ndarray] = {}
+            n_changed = 0
+            n_tracked = 0
+            for name in stale:
+                arr = arrays[name]
+                n_tracked += arr.size
+                pos = expand_ranges(dirty[name])
+                if pos.size:
+                    # every owner compares its share of the dirty window
+                    owners = np.asarray(arr.distribution.owner(pos), dtype=np.int64)
+                    machine.charge_compute_all(
+                        iops=DIFF_IOPS_PER_ELEMENT
+                        * np.bincount(owners, minlength=machine.n_procs).astype(
+                            np.float64
+                        )
+                    )
+                cur = np.asarray(arr.global_view(), dtype=np.int64)
+                chg = changed_at(state.snapshots[name], cur, pos)
+                changed[name] = chg
+                n_changed += int(chg.size)
+            if n_tracked and n_changed > self.max_change_fraction * n_tracked:
+                # too much churn: a full inspection is the better deal
+                # (the diff work above was the price of finding out)
+                return None
+            self.last_error = None
+            try:
+                result = patch_product(
+                    machine,
+                    record.product,
+                    arrays,
+                    state,
+                    changed,
+                    self._ttables_for(record),
+                    costs=self.program.costs,
+                )
+            except Exception as exc:
+                # patch_product keeps state consistent on failure (its
+                # slot spaces persist only after every group succeeds),
+                # so the conservative full inspector is a safe recovery:
+                # drop this loop's state (rebuilt after the full run)
+                # and report the failure through last_error
+                self.states.pop(loop.name, None)
+                self.last_error = exc
+                return None
+        self.last_patch = result
+        record.product = result.product
+        record.ind_last_mod = {
+            name: registry.last_mod(DAD.of(arrays[name]))
+            for name in record.ind_last_mod
+        }
+        return result.product
+
+    # ------------------------------------------------------------------
+    def _ttables_for(self, record: InspectorRecord) -> dict:
+        """The program's translation-table cache, topped up defensively.
+
+        Tables were built (and cached) by the full inspection and the
+        distribution signatures are unchanged, so this is normally a
+        pure lookup.
+        """
+        prog = self.program
+        for name in record.data_dads:
+            arr = prog.arrays[name]
+            tkey = (name, arr.distribution.signature())
+            if tkey not in prog.ttables:
+                prog.ttables[tkey] = build_translation_table(
+                    prog.machine, arr.distribution, prog.costs, prog.ttable_variant
+                )
+        return prog.ttables
+
+
+class AdaptiveExecutor:
+    """Step-wise driver for one loop of an adaptive computation.
+
+    Each :meth:`step` runs one sweep through the program's FORALL path
+    and classifies how its inspection was satisfied: a full inspector
+    run, a straight reuse hit, or an incremental patch.  ``history``
+    keeps per-step ``(mode, simulated inspector seconds)`` so adaptive
+    benches can attribute inspector cost to adaptation events.
+    """
+
+    def __init__(self, program, loop: ForallLoop):
+        self.program = program
+        self.loop = loop
+        self.history: list[dict] = []
+
+    def step(self) -> str:
+        prog = self.program
+        machine = prog.machine
+        before = (
+            prog.inspector_runs,
+            prog.patch_hits,
+            machine.phase_time("inspector"),
+        )
+        prog.forall(self.loop, n_times=1)
+        if prog.inspector_runs > before[0]:
+            mode = "full"
+        elif prog.patch_hits > before[1]:
+            mode = "patch"
+        else:
+            mode = "reuse"
+        self.history.append(
+            {
+                "mode": mode,
+                "inspector_time": machine.phase_time("inspector") - before[2],
+            }
+        )
+        return mode
+
+    def run(self, n_steps: int) -> list[str]:
+        return [self.step() for _ in range(n_steps)]
+
+    def mode_counts(self) -> dict[str, int]:
+        out = {"full": 0, "reuse": 0, "patch": 0}
+        for rec in self.history:
+            out[rec["mode"]] += 1
+        return out
+
+    def inspector_time(self, mode: str | None = None) -> float:
+        return sum(
+            rec["inspector_time"]
+            for rec in self.history
+            if mode is None or rec["mode"] == mode
+        )

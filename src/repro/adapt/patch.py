@@ -1,0 +1,647 @@
+"""Patch a saved InspectorProduct instead of re-running the inspector.
+
+Given the positions whose indirection values actually changed (from
+``adapt.diff``), :func:`patch_product` produces an
+:class:`~repro.core.inspector.InspectorProduct` equivalent to a fresh
+inspection of the current arrays while charging the simulated machine
+only for delta-proportional work:
+
+1. **re-vote** -- only iterations whose reference targets changed can
+   change home; their majority vote is recomputed and only *moved*
+   iteration records are exchanged;
+2. **reference diff** -- per pattern group, each delta iteration
+   retires its old reference (classified local/ghost from the *saved*
+   localized value, no translation needed) and adds its new one; only
+   the added targets are translated, in one
+   ``ttable.dereference_flat`` over the delta;
+3. **slot update** -- per-slot reference counts absorb the delta;
+   slots hitting zero retire in place (holes), new keys reuse holes
+   then append (see the package docstring's layout contract);
+4. **schedule + buffer patch** -- ``CommSchedule.patched`` retires dead
+   entries and appends revived/new ones (pairs stay requester-major /
+   owner-minor with elements key-sorted, matching a fresh ``localize``
+   wire order exactly), and ``GhostBuffers.patched`` regrows the CSR
+   backing copying retained slots; and
+5. **localized-ref rebuild** -- unchanged references keep their saved
+   localized values (slot positions are stable by construction) and are
+   only permuted into the new iteration order; delta references get
+   values from the delta translation.
+
+The patched product's iteration partition, ghost key sets, schedule
+pairs, send offsets and wire order equal a from-scratch inspection's;
+executor results and executor charges are bit-identical.  Only the
+*inspector-phase* charges differ -- that is the entire point.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.localize import LocalizeResult, sorted_unique_inverse
+from repro.chaos.ttable import TranslationTable
+from repro.core.inspector import InspectorProduct, PatternData
+from repro.core.iteration import (
+    ITERATION_RECORD_BYTES,
+    _majority_owner,
+    method_refs,
+    partition_from_home,
+)
+from repro.adapt.state import GroupState, LoopAdaptState, group_state_key, product_groups
+from repro.distribution.distarray import DistArray
+from repro.machine.machine import Machine
+
+#: integer ops per dirty element for the snapshot-vs-current compare
+DIFF_IOPS_PER_ELEMENT = 2.0
+
+_EMPTY = np.empty(0, dtype=np.int64)
+
+
+class _PatchTranslationCache:
+    """Per-patch dereference cache shared by the loop's pattern groups.
+
+    Patterns of one loop overwhelmingly reference the same elements
+    (``x(edge(i))`` and ``y(edge(i))`` share every target), so their
+    unknown-delta translations are near-identical.  Within one patch the
+    distributions are frozen, so a translation resolved for one group
+    can be served to the next from a local cache: each processor pays a
+    hash probe instead of a remote page request.  Keyed by distribution
+    signature; one sorted composite-key array per signature.
+    """
+
+    def __init__(self) -> None:
+        self._by_sig: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def translate(
+        self,
+        machine: Machine,
+        ttable: TranslationTable,
+        stride: int,
+        uniq_proc: np.ndarray,
+        uniq_key: np.ndarray,
+        costs: ChaosCosts,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(owner, lidx) for per-proc-sorted unique (proc, key) pairs."""
+        n = machine.n_procs
+        sig = ttable.dist.signature()
+        owner = np.empty(uniq_key.size, dtype=np.int64)
+        lidx = np.empty(uniq_key.size, dtype=np.int64)
+        comp = uniq_proc * stride + uniq_key
+        cached = self._by_sig.get(sig)
+        if cached is not None and cached[0].size:
+            ccomp, cowner, clidx = cached
+            pos = np.searchsorted(ccomp, comp)
+            hit = (pos < ccomp.size) & (
+                ccomp[np.minimum(pos, ccomp.size - 1)] == comp
+            )
+            # every processor probes its cache once per key
+            machine.charge_compute_all(
+                iops=costs.hash_lookup
+                * np.bincount(uniq_proc, minlength=n).astype(np.float64)
+            )
+        else:
+            hit = np.zeros(comp.size, dtype=bool)
+        if hit.any():
+            cpos = pos[hit]
+            owner[hit] = cowner[cpos]
+            lidx[hit] = clidx[cpos]
+        miss = ~hit
+        miss_key = uniq_key[miss]
+        miss_proc = uniq_proc[miss]
+        m_bounds = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(np.bincount(miss_proc, minlength=n), out=m_bounds[1:])
+        mowner, mlidx = ttable.dereference_flat(miss_key, m_bounds)
+        owner[miss] = mowner
+        lidx[miss] = mlidx
+        if miss.any():
+            mcomp = comp[miss]
+            if cached is None or not cached[0].size:
+                merged = (mcomp, mowner, mlidx)
+            else:
+                allc = np.concatenate([cached[0], mcomp])
+                order = np.argsort(allc, kind="stable")
+                merged = (
+                    allc[order],
+                    np.concatenate([cached[1], mowner])[order],
+                    np.concatenate([cached[2], mlidx])[order],
+                )
+            self._by_sig[sig] = merged
+        return owner, lidx
+
+
+@dataclass
+class PatchResult:
+    """The patched product plus delta statistics (benches report these)."""
+
+    product: InspectorProduct
+    n_changed_values: int = 0
+    n_changed_iterations: int = 0
+    n_moved_iterations: int = 0
+    n_ghosts_added: int = 0
+    n_ghosts_retired: int = 0
+    n_slots_appended: int = 0
+    per_group: dict = field(default_factory=dict)
+
+
+def _revote(
+    machine: Machine,
+    loop,
+    arrays: dict[str, DistArray],
+    state: LoopAdaptState,
+    changed_iters: np.ndarray,
+    method: str,
+    costs: ChaosCosts,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Recompute homes for changed iterations; returns (home_new, moved).
+
+    Uses the same reference selection as ``partition_iterations`` for
+    ``method`` so the patched home map equals a fresh partitioning's.
+    """
+    home_old = state.home
+    if not changed_iters.size:
+        return home_old, _EMPTY
+    refs = method_refs(loop, method)
+    rows = []
+    for ref in refs:
+        dist = arrays[ref.array].distribution
+        if ref.index is None:
+            targets = changed_iters
+        else:
+            values = np.asarray(arrays[ref.index].global_view(), dtype=np.int64)
+            targets = values[changed_iters]
+        rows.append(np.asarray(dist.owner(targets), dtype=np.int64))
+    vote = _majority_owner(rows)
+    home_new = home_old.copy()
+    home_new[changed_iters] = vote
+    moved = changed_iters[vote != home_old[changed_iters]]
+    # the old holder of each changed iteration re-examines it: one
+    # translation probe + vote update per reference (the per-iteration
+    # cost partition_iterations charges, restricted to the delta)
+    machine.charge_compute_all(
+        iops=np.bincount(home_old[changed_iters], minlength=machine.n_procs)
+        * len(refs)
+        * (costs.hash_lookup + 2.0)
+    )
+    if moved.size:
+        n = machine.n_procs
+        pairmat = np.zeros((n, n), dtype=np.int64)
+        np.add.at(pairmat, (home_old[moved], home_new[moved]), 1)
+        np.fill_diagonal(pairmat, 0)
+        src, dst = np.nonzero(pairmat)
+        machine.exchange(
+            src=src, dst=dst, nbytes=pairmat[src, dst] * ITERATION_RECORD_BYTES
+        )
+    return home_new, moved
+
+
+def _patch_group(
+    machine: Machine,
+    arrays: dict[str, DistArray],
+    product: InspectorProduct,
+    gstate: GroupState,
+    member_keys: list,
+    ttable: TranslationTable,
+    changed: dict[str, np.ndarray],
+    home_old: np.ndarray,
+    home_new: np.ndarray,
+    moved: np.ndarray,
+    inv_old: np.ndarray,
+    new_iter_flat: np.ndarray,
+    new_bounds: np.ndarray,
+    inv_new: np.ndarray,
+    costs: ChaosCosts,
+    trans_cache: "_PatchTranslationCache",
+) -> tuple[dict, dict, GroupState] | None:
+    """Patch one pattern group; returns (new PatternData by key, stats,
+    updated GroupState to persist) or ``None`` when the group has no
+    delta (saved data reusable as-is, iteration order unchanged).  Never
+    mutates ``gstate`` -- the caller persists the returned state only
+    after every group has succeeded."""
+    n = machine.n_procs
+    array_name = gstate.array
+    arr = arrays[array_name]
+    dist = arr.distribution
+    first_loc = product.patterns[member_keys[0]].localized
+    local_sizes = np.asarray(first_loc.local_sizes, dtype=np.int64)
+    stride = max(dist.size, 1)
+
+    # -- per-member deltas: retire old refs, collect new ones ------------
+    member_D: list[np.ndarray] = []
+    rem_slot_parts: list[np.ndarray] = []
+    rem_proc_parts: list[np.ndarray] = []
+    add_p_parts: list[np.ndarray] = []
+    add_t_parts: list[np.ndarray] = []
+    for akey in member_keys:
+        ind = akey[1]
+        if ind is None:
+            D = moved
+        else:
+            ch = changed.get(ind, _EMPTY)
+            D = np.union1d(moved, ch) if ch.size else moved
+        member_D.append(D)
+        if not D.size:
+            add_p_parts.append(_EMPTY)
+            add_t_parts.append(_EMPTY)
+            continue
+        p_old = home_old[D]
+        lv = product.patterns[akey].localized.refs_flat[inv_old[D]]
+        is_ghost = lv >= local_sizes[p_old]
+        if is_ghost.any():
+            gp = p_old[is_ghost]
+            rem_slot_parts.append(
+                gstate.slot_bounds[gp] + (lv[is_ghost] - local_sizes[gp])
+            )
+            rem_proc_parts.append(gp)
+        t_new = D if ind is None else (
+            np.asarray(arrays[ind].global_view(), dtype=np.int64)[D]
+        )
+        add_p_parts.append(home_new[D])
+        add_t_parts.append(t_new)
+
+    add_p = np.concatenate(add_p_parts) if add_p_parts else _EMPTY
+    if not add_p.size and not rem_slot_parts:
+        return None
+    add_t = np.concatenate(add_t_parts) if add_t_parts else _EMPTY
+    rem_slots = (
+        np.concatenate(rem_slot_parts) if rem_slot_parts else _EMPTY
+    )
+    rem_procs = (
+        np.concatenate(rem_proc_parts) if rem_proc_parts else _EMPTY
+    )
+
+    # -- classify the added references locally ---------------------------
+    # Each requester probes its own membership table (a processor always
+    # knows which globals it owns): local targets resolve to their local
+    # offset on the spot, everything else is a ghost candidate.  Charged
+    # as one replicated-table-style probe per added reference.
+    if add_t.size:
+        owners_add = np.asarray(dist.owner(add_t), dtype=np.int64)
+        lidx_add = np.asarray(dist.local_index(add_t), dtype=np.int64)
+    else:
+        owners_add = _EMPTY
+        lidx_add = _EMPTY
+    ghost_mask = owners_add != add_p
+    machine.charge_compute_all(
+        iops=costs.translate_replicated
+        * np.bincount(add_p, minlength=n).astype(np.float64)
+    )
+
+    # -- slot count update: retire / revive / insert ---------------------
+    # work on a copy: gstate must stay untouched until the whole patch
+    # succeeds (patch_product persists all groups together at the end),
+    # so a mid-patch exception leaves state consistent with the old
+    # product and a later attempt can still patch or fall back cleanly
+    counts_entry = gstate.counts
+    counts = counts_entry.copy()
+    if rem_slots.size:
+        np.add.at(counts, rem_slots, -1)
+    gidx = np.flatnonzero(ghost_mask)
+    comp = add_p[gidx] * stride + add_t[gidx]
+    slot_proc_old = gstate.slot_proc()
+    mcomp = slot_proc_old * stride + gstate.keys
+    morder = np.argsort(mcomp, kind="stable")
+    msorted = mcomp[morder]
+    if msorted.size:
+        pos = np.searchsorted(msorted, comp)
+        found = (pos < msorted.size) & (
+            msorted[np.minimum(pos, msorted.size - 1)] == comp
+        )
+        found_slots = morder[pos[found]]
+    else:
+        # a group can start with zero tracked ghosts (fully local at
+        # inspection); every ghost add is then a never-seen key
+        found = np.zeros(comp.size, dtype=bool)
+        found_slots = _EMPTY
+    if found_slots.size:
+        np.add.at(counts, found_slots, 1)
+    if counts.size and counts.min() < 0:
+        raise RuntimeError(
+            f"adapt: negative reference count patching group "
+            f"{array_name}/{gstate.indexes} -- state out of sync"
+        )
+    went_dead = np.flatnonzero((counts_entry > 0) & (counts == 0))
+    revived = np.flatnonzero((counts_entry == 0) & (counts > 0))
+
+    # -- translate only the *unknown* delta ------------------------------
+    # Ghost adds hitting a tracked slot (live or hole) reuse the saved
+    # (owner, local offset): the runtime recorded them at the last
+    # inspection and conditions 1-2 guarantee they are still valid.
+    # Only never-before-seen keys dereference through the translation
+    # table -- one dereference_flat over that (typically tiny) set, the
+    # only remote-translation traffic a patch pays.
+    comp_missing = comp[~found]
+    uniq_comp, inv_missing = sorted_unique_inverse(comp_missing)
+    uniq_proc = uniq_comp // stride
+    uniq_key = uniq_comp % stride
+    n_uniq = uniq_comp.size
+    need = np.bincount(uniq_proc, minlength=n)
+    uniq_owner, uniq_lidx = trans_cache.translate(
+        machine, ttable, stride, uniq_proc, uniq_key, costs
+    )
+
+    # -- allocate slots: reuse holes ascending, then append --------------
+    old_bounds = gstate.slot_bounds
+    old_sizes = np.diff(old_bounds)
+    free_slots = np.flatnonzero(counts == 0)
+    free_proc = slot_proc_old[free_slots]
+    free_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(np.bincount(free_proc, minlength=n), out=free_bounds[1:])
+    frank = np.arange(free_slots.size, dtype=np.int64) - free_bounds[free_proc]
+    usable = frank < need[free_proc]
+    reused = free_slots[usable]
+    reused_proc = free_proc[usable]
+    n_reuse = np.bincount(reused_proc, minlength=n)
+    n_append = need - n_reuse
+    new_sizes = old_sizes + n_append
+    slot_bounds_new = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(new_sizes, out=slot_bounds_new[1:])
+    shift = slot_bounds_new[:-1] - old_bounds[:-1]
+
+    # remap old per-slot arrays into the grown slot space
+    s_new_total = int(slot_bounds_new[-1])
+    newpos_of_old = np.arange(old_bounds[-1], dtype=np.int64) + shift[slot_proc_old]
+    keys2 = np.full(s_new_total, -1, dtype=np.int64)
+    owners2 = np.zeros(s_new_total, dtype=np.int64)
+    lidx2 = np.zeros(s_new_total, dtype=np.int64)
+    counts2 = np.zeros(s_new_total, dtype=np.int64)
+    if newpos_of_old.size:
+        keys2[newpos_of_old] = gstate.keys
+        owners2[newpos_of_old] = gstate.owners
+        lidx2[newpos_of_old] = gstate.lidx
+        counts2[newpos_of_old] = counts
+
+    # assign each unique new key a slot (per proc: reused asc, then appended)
+    uniq_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(need, out=uniq_bounds[1:])
+    urank = np.arange(n_uniq, dtype=np.int64) - uniq_bounds[uniq_proc]
+    take_reuse = urank < n_reuse[uniq_proc]
+    reuse_bounds = np.zeros(n + 1, dtype=np.int64)
+    np.cumsum(n_reuse, out=reuse_bounds[1:])
+    reused_new = reused + shift[reused_proc]
+    alloc = np.empty(n_uniq, dtype=np.int64)
+    if take_reuse.any():
+        tp = uniq_proc[take_reuse]
+        alloc[take_reuse] = reused_new[reuse_bounds[tp] + urank[take_reuse]]
+    grow = ~take_reuse
+    if grow.any():
+        gp = uniq_proc[grow]
+        alloc[grow] = (
+            slot_bounds_new[gp] + old_sizes[gp] + (urank[grow] - n_reuse[gp])
+        )
+    keys2[alloc] = uniq_key
+    owners2[alloc] = uniq_owner
+    lidx2[alloc] = uniq_lidx
+    if inv_missing.size:
+        np.add.at(counts2, alloc[inv_missing], 1)
+
+    # resolved (new-space) slot per ghost add
+    slot_of_ghost_add = np.empty(comp.size, dtype=np.int64)
+    slot_of_ghost_add[found] = found_slots + shift[add_p[gidx[found]]]
+    slot_of_ghost_add[~found] = alloc[inv_missing]
+
+    # -- schedule patch: retire dead entries, append revived + new -------
+    old_schedule = first_loc.schedule
+    eq, ep, _esend, erecv = old_schedule.entries()
+    entry_slot = old_bounds[ep] + erecv
+    dead_mask = np.zeros(int(old_bounds[-1]), dtype=bool)
+    dead_mask[went_dead] = True
+    keep = ~dead_mask[entry_slot]
+    sched_add_slots = np.concatenate(
+        [revived + shift[slot_proc_old[revived]], alloc]
+    )
+    add_slot_proc = (
+        np.searchsorted(slot_bounds_new, sched_add_slots, side="right") - 1
+    )
+    schedule_new = old_schedule.patched(
+        keep,
+        add_q=owners2[sched_add_slots],
+        add_p=add_slot_proc,
+        add_send=lidx2[sched_add_slots],
+        add_recv=sched_add_slots - slot_bounds_new[add_slot_proc],
+        ghost_sizes=[int(s) for s in new_sizes],
+        keep_key=gstate.keys[entry_slot],
+        add_key=keys2[sched_add_slots],
+    )
+    ghosts_new = product.patterns[member_keys[0]].ghosts.patched(
+        schedule_new, costs=costs, appended=need
+    )
+
+    # -- charge the delta-proportional inspector work --------------------
+    n_add_per_proc = np.bincount(add_p, minlength=n).astype(np.float64)
+    n_rem_per_proc = np.bincount(rem_procs, minlength=n).astype(np.float64)
+    new_per_proc = need.astype(np.float64)
+    dead_per_proc = np.bincount(
+        slot_proc_old[went_dead], minlength=n
+    ).astype(np.float64)
+    revived_per_proc = np.bincount(
+        slot_proc_old[revived], minlength=n
+    ).astype(np.float64)
+    sched_delta_per_proc = dead_per_proc + revived_per_proc + new_per_proc
+    machine.charge_compute_all(
+        iops=(
+            costs.hash_lookup * (n_add_per_proc + n_rem_per_proc)
+            + costs.hash_insert * new_per_proc
+            + costs.schedule_build * sched_delta_per_proc
+        )
+    )
+    # requesters tell owners which send-list entries to add/retire
+    d_p = np.concatenate(
+        [slot_proc_old[went_dead], slot_proc_old[revived], uniq_proc]
+    )
+    d_q = np.concatenate(
+        [gstate.owners[went_dead], gstate.owners[revived], uniq_owner]
+    )
+    if d_p.size:
+        pcomp, pinv = sorted_unique_inverse(d_p * n + d_q)
+        pcounts = np.bincount(pinv, minlength=pcomp.size)
+        pp, pq = pcomp // n, pcomp % n
+        cross = pp != pq
+        machine.exchange(
+            src=pp[cross],
+            dst=pq[cross],
+            nbytes=pcounts[cross] * costs.index_bytes,
+        )
+        machine.charge_compute_all(
+            iops=costs.schedule_build
+            * np.bincount(d_q, minlength=n).astype(np.float64)
+        )
+
+    # -- rebuild per-member localized reference lists --------------------
+    old_to_new = inv_old[new_iter_flat]
+    ghost_flat = keys2.copy()
+    ghost_flat[counts2 == 0] = -1
+    patterns_new: dict = {}
+    offset = 0
+    for akey, D in zip(member_keys, member_D):
+        pat = product.patterns[akey]
+        new_loc_refs = pat.localized.refs_flat[old_to_new]
+        n_d = D.size
+        if n_d:
+            seg = slice(offset, offset + n_d)
+            p_seg = add_p[seg]
+            vals = lidx_add[seg].copy()
+            gm = ghost_mask[seg]
+            if gm.any():
+                # this member's ghost adds located inside the group-level
+                # ghost-add stream (gidx is sorted add-stream positions)
+                member_ghost = offset + np.flatnonzero(gm)
+                slots = slot_of_ghost_add[np.searchsorted(gidx, member_ghost)]
+                vals[gm] = local_sizes[p_seg[gm]] + (
+                    slots - slot_bounds_new[p_seg[gm]]
+                )
+            new_loc_refs[inv_new[D]] = vals
+        offset += n_d
+        loc_new = LocalizeResult(
+            local_sizes=[int(s) for s in local_sizes],
+            schedule=schedule_new,
+            refs_flat=new_loc_refs,
+            ref_bounds=new_bounds,
+            ghost_flat=ghost_flat,
+            ghost_bounds=slot_bounds_new,
+        )
+        patterns_new[akey] = PatternData(
+            array=array_name, index=akey[1], localized=loc_new, ghosts=ghosts_new
+        )
+
+    # the updated slot space, applied by the caller once every group
+    # has patched successfully (atomicity: see counts copy above)
+    new_state = GroupState(
+        array=gstate.array,
+        indexes=gstate.indexes,
+        slot_bounds=slot_bounds_new,
+        keys=keys2,
+        owners=owners2,
+        lidx=lidx2,
+        counts=counts2,
+    )
+    stats = {
+        "added": int(ghost_mask.sum()),
+        "retired": int(went_dead.size),
+        "revived": int(revived.size),
+        "new_unique": int(n_uniq),
+        "appended": int(n_append.sum()),
+    }
+    return patterns_new, stats, new_state
+
+
+def patch_product(
+    machine: Machine,
+    product: InspectorProduct,
+    arrays: dict[str, DistArray],
+    state: LoopAdaptState,
+    changed: dict[str, np.ndarray],
+    ttables: dict[tuple[str, tuple], TranslationTable],
+    costs: ChaosCosts = DEFAULT_COSTS,
+) -> PatchResult:
+    """Patch ``product`` for the given changed indirection positions.
+
+    ``changed`` maps indirection array name -> sorted positions whose
+    values differ from ``state.snapshots`` (from
+    :func:`~repro.adapt.diff.changed_positions`; diff charges are the
+    caller's).  Preconditions (the caller -- the driver -- verifies
+    them): every data/indirection DAD equals the product's, and
+    ``ttables`` holds the translation table of every referenced array's
+    current distribution.  Mutates ``state`` (home map, snapshots,
+    group slot spaces) to describe the patched product.
+    """
+    loop = product.loop
+    n_procs = machine.n_procs
+
+    parts = [c for c in changed.values() if c.size]
+    changed_iters = (
+        np.unique(np.concatenate(parts)) if parts else _EMPTY
+    )
+    home_old = state.home
+    old_part = product.iteration_partition
+    home_new, moved = _revote(
+        machine, loop, arrays, state, changed_iters, old_part.method, costs
+    )
+    old_iter_flat, _old_bounds = old_part.iters_flat()
+    n = loop.n_iterations
+    inv_old = np.empty(n, dtype=np.int64)
+    inv_old[old_iter_flat] = np.arange(n, dtype=np.int64)
+    if moved.size:
+        new_part = partition_from_home(home_new, n_procs, old_part.method)
+    else:
+        new_part = old_part
+    new_iter_flat, new_bounds = new_part.iters_flat()
+    inv_new = np.empty(n, dtype=np.int64)
+    inv_new[new_iter_flat] = np.arange(n, dtype=np.int64)
+
+    result = PatchResult(
+        product=product,
+        n_changed_values=sum(int(c.size) for c in changed.values()),
+        n_changed_iterations=int(changed_iters.size),
+        n_moved_iterations=int(moved.size),
+    )
+
+    patterns_new: dict = dict(product.patterns)
+    pending_states: dict = {}
+    any_patched = False
+    trans_cache = _PatchTranslationCache()
+    for member_keys in product_groups(product):
+        gkey = group_state_key(member_keys)
+        gstate = state.groups[gkey]
+        arr = arrays[gstate.array]
+        tkey = (gstate.array, arr.distribution.signature())
+        ttable = ttables[tkey]
+        out = _patch_group(
+            machine,
+            arrays,
+            product,
+            gstate,
+            member_keys,
+            ttable,
+            changed,
+            home_old,
+            home_new,
+            moved,
+            inv_old,
+            new_iter_flat,
+            new_bounds,
+            inv_new,
+            costs,
+            trans_cache,
+        )
+        if out is None:
+            continue
+        group_patterns, stats, new_gstate = out
+        patterns_new.update(group_patterns)
+        pending_states[gkey] = new_gstate
+        result.per_group[gkey] = stats
+        result.n_ghosts_added += stats["revived"] + stats["new_unique"]
+        result.n_ghosts_retired += stats["retired"]
+        result.n_slots_appended += stats["appended"]
+        any_patched = True
+
+    # every group patched without error: persist the new slot spaces
+    for gkey, new_gstate in pending_states.items():
+        state.groups[gkey] = new_gstate
+
+    machine.barrier()
+
+    # update snapshots at the changed positions only (owners re-copy them)
+    snap_mem = np.zeros(n_procs)
+    for name, pos in changed.items():
+        if not pos.size:
+            continue
+        cur = np.asarray(arrays[name].global_view(), dtype=np.int64)
+        state.snapshots[name][pos] = cur[pos]
+        owners = np.asarray(arrays[name].distribution.owner(pos), dtype=np.int64)
+        snap_mem += np.bincount(owners, minlength=n_procs).astype(np.float64)
+    if snap_mem.any():
+        machine.charge_compute_all(mem=snap_mem)
+
+    state.home = home_new
+    if not any_patched and new_part is old_part:
+        # value rewrites that cancelled out: nothing to patch
+        return result
+    result.product = InspectorProduct(
+        loop=loop,
+        iteration_partition=new_part,
+        patterns=patterns_new,
+        dist_signatures=dict(product.dist_signatures),
+    )
+    return result

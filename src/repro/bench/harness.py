@@ -69,7 +69,10 @@ def _run_loop_phase(
     if path == "compiler":
         prog.forall(loop, n_times=iterations, reuse=reuse)
         return
-    # hand path: the programmer decides when to re-inspect
+    # hand path: the programmer decides when to re-inspect.  The
+    # coalescing flag is passed explicitly (the program's pinned
+    # setting), not left to run_inspector's default: these scenarios
+    # back longitudinal baselines that must stay bit-identical.
     machine = prog.machine
     if reuse:
         with machine.phase("inspector"):
@@ -81,6 +84,7 @@ def _run_loop_phase(
                 ttable_variant=prog.ttable_variant,
                 costs=prog.costs,
                 ttables=prog.ttables,
+                coalesce_patterns=prog.coalesce_patterns,
             )
         with machine.phase("executor"):
             run_executor(machine, product, prog.arrays, n_times=iterations)
@@ -95,6 +99,7 @@ def _run_loop_phase(
                     ttable_variant=prog.ttable_variant,
                     costs=prog.costs,
                     ttables=prog.ttables,
+                    coalesce_patterns=prog.coalesce_patterns,
                 )
             with machine.phase("executor"):
                 run_executor(machine, product, prog.arrays, n_times=1)
@@ -150,8 +155,15 @@ def run_euler_experiment(
     iterations: int = 100,
     cost_model: CostModel = IPSC860,
     seed: int = 0,
+    coalesce: bool = False,
 ) -> ExperimentResult:
-    """One unstructured-mesh edge-sweep experiment (Tables 1-4)."""
+    """One unstructured-mesh edge-sweep experiment (Tables 1-4).
+
+    ``coalesce`` is pinned ``False`` (per-pattern schedules) even though
+    the runtime's default is now coalescing: the Tables 1-4 golden
+    fixtures and the committed simspeed baseline were produced by this
+    scenario definition and must stay bit-identical across PRs.
+    """
     if path not in ("compiler", "hand"):
         raise ValueError(f"unknown path {path!r}; choose compiler | hand")
     machine = Machine(n_procs, cost_model=cost_model)
@@ -160,6 +172,7 @@ def run_euler_experiment(
         mesh,
         seed=seed,
         track=(path == "compiler"),
+        coalesce_patterns=coalesce,
         executor_overhead=(
             COMPILER_EXECUTOR_OVERHEAD if path == "compiler" else 1.0
         ),
@@ -198,8 +211,13 @@ def run_md_experiment(
     cutoff: float = 8.0,
     cost_model: CostModel = IPSC860,
     seed: int = 0,
+    coalesce: bool = False,
 ) -> ExperimentResult:
-    """One molecular-dynamics force-sweep experiment (648-atom water)."""
+    """One molecular-dynamics force-sweep experiment (648-atom water).
+
+    ``coalesce`` is pinned ``False`` for golden-fixture comparability,
+    like :func:`run_euler_experiment`.
+    """
     if path not in ("compiler", "hand"):
         raise ValueError(f"unknown path {path!r}; choose compiler | hand")
     machine = Machine(n_procs, cost_model=cost_model)
@@ -209,6 +227,7 @@ def run_md_experiment(
         cutoff=cutoff,
         seed=seed,
         track=(path == "compiler"),
+        coalesce_patterns=coalesce,
         executor_overhead=(
             COMPILER_EXECUTOR_OVERHEAD if path == "compiler" else 1.0
         ),

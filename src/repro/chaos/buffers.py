@@ -61,6 +61,54 @@ class GhostBuffers:
                 iops=costs.buffer_assign * sizes.astype(np.float64)
             )
 
+    def patched(
+        self,
+        schedule: CommSchedule,
+        costs: ChaosCosts = DEFAULT_COSTS,
+        appended: np.ndarray | None = None,
+    ) -> "GhostBuffers":
+        """Append-only regrowth: new buffers for a patched schedule.
+
+        The incremental-inspection subsystem retires ghost slots in
+        place (slots keep their positions; retired ones become holes)
+        and appends new slots at the end of each processor's region, so
+        the new per-processor ghost size is always >= the old one.  The
+        returned buffers copy every retained slot's contents to its
+        preserved per-processor position and charge the machine
+        ``buffer_assign`` only for ``appended`` slots per processor --
+        not the whole region, the delta-work contract of schedule
+        patching.  ``appended`` defaults to the per-processor backing
+        growth; callers assigning new keys into reused holes pass their
+        per-processor *newly assigned slot* counts instead (a reused
+        hole still needs its buffer address rebound to the new key).
+        """
+        if schedule.machine is not self.machine:
+            raise ValueError("patched schedule lives on a different machine")
+        new = GhostBuffers(
+            self.machine, schedule, dtype=self.dtype, costs=costs, charge=False
+        )
+        old_sizes = np.diff(self.offsets)
+        new_sizes = np.diff(new.offsets)
+        if (new_sizes < old_sizes).any():
+            p = int(np.flatnonzero(new_sizes < old_sizes)[0])
+            raise ValueError(
+                f"ghost region of processor {p} shrank "
+                f"({int(old_sizes[p])} -> {int(new_sizes[p])}); patching "
+                "is append-only"
+            )
+        if self.backing.size:
+            # copy each processor's old region to the start of its new
+            # region: one gather/scatter over precomputed positions
+            rep = np.repeat(np.arange(self.machine.n_procs), old_sizes)
+            old_pos = np.arange(self.backing.size)
+            new.backing[new.offsets[rep] + (old_pos - self.offsets[rep])] = self.backing
+        if appended is None:
+            appended = new_sizes - old_sizes
+        self.machine.charge_compute_all(
+            iops=costs.buffer_assign * np.asarray(appended, dtype=np.float64)
+        )
+        return new
+
     def buf(self, p: int) -> np.ndarray:
         """Ghost buffer of processor ``p`` -- a live slice of the backing."""
         if not 0 <= p < self.machine.n_procs:

@@ -141,6 +141,120 @@ class CommSchedule:
         )
         return self
 
+    @classmethod
+    def from_entries(
+        cls,
+        machine: Machine,
+        dist_signature: tuple,
+        entry_q: np.ndarray,
+        entry_p: np.ndarray,
+        entry_send: np.ndarray,
+        entry_recv: np.ndarray,
+        ghost_sizes: list[int],
+        order_key: np.ndarray | None = None,
+        costs: ChaosCosts = DEFAULT_COSTS,
+    ) -> "CommSchedule":
+        """Construct from *per-element* entries in arbitrary order.
+
+        Each element ``i`` describes one moved ghost: owner ``entry_q[i]``
+        packs its local offset ``entry_send[i]`` for requester
+        ``entry_p[i]``, landing in ghost slot ``entry_recv[i]``.  Entries
+        are grouped into pairs requester-major / owner-minor (the order
+        ``localize`` produces), with elements inside a pair ordered by
+        ``order_key`` (ascending; pass the ghost *global index* to match
+        a fresh inspection's slot-sorted wire order exactly).  This is
+        the assembly primitive the incremental-inspection subsystem uses
+        after retiring/appending entries.
+        """
+        entry_q = np.asarray(entry_q, dtype=np.int64)
+        entry_p = np.asarray(entry_p, dtype=np.int64)
+        entry_send = np.asarray(entry_send, dtype=np.int64)
+        entry_recv = np.asarray(entry_recv, dtype=np.int64)
+        if order_key is None:
+            order_key = entry_recv
+        perm = np.lexsort((np.asarray(order_key), entry_q, entry_p))
+        q, p = entry_q[perm], entry_p[perm]
+        n = machine.n_procs
+        pair_id = p * n + q
+        if pair_id.size:
+            seg_starts = np.concatenate(([0], np.flatnonzero(np.diff(pair_id)) + 1))
+        else:
+            seg_starts = np.empty(0, dtype=np.int64)
+        seg_bounds = np.append(seg_starts, pair_id.size)
+        return cls.from_flat(
+            machine,
+            dist_signature,
+            q[seg_starts],
+            p[seg_starts],
+            np.diff(seg_bounds),
+            entry_send[perm],
+            entry_recv[perm],
+            ghost_sizes,
+            costs=costs,
+        )
+
+    def entries(self) -> tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+        """Per-element ``(q, p, send, recv)`` arrays in flat (pair) order.
+
+        The inverse of :meth:`from_entries`: every moved ghost element as
+        one row, owners/requesters repeated per pair.  Arrays are fresh
+        copies where repetition requires it; ``send``/``recv`` are the
+        internal flat arrays (treat as read-only).
+        """
+        return (
+            np.repeat(self._pair_q, self._pair_len),
+            np.repeat(self._pair_p, self._pair_len),
+            self._flat_send,
+            self._flat_recv,
+        )
+
+    def patched(
+        self,
+        keep: np.ndarray,
+        add_q: np.ndarray,
+        add_p: np.ndarray,
+        add_send: np.ndarray,
+        add_recv: np.ndarray,
+        ghost_sizes: list[int],
+        keep_key: np.ndarray | None = None,
+        add_key: np.ndarray | None = None,
+    ) -> "CommSchedule":
+        """Retire + append: a new schedule reusing this one's entries.
+
+        ``keep`` masks this schedule's per-element entries (retired
+        entries are dropped); ``add_*`` append new entries.  Ghost slots
+        referenced by kept entries are expected to be unchanged -- the
+        CSR ghost regions may only *grow* (``ghost_sizes`` is the new
+        per-processor slot-space size; pass the old sizes when nothing
+        was appended).  ``keep_key``/``add_key`` order elements within
+        each pair (ghost global indices give fresh-inspection wire
+        order); ghost slots are the default.
+        """
+        q, p, send, recv = self.entries()
+        keep = np.asarray(keep, dtype=bool)
+        if keep.shape != q.shape:
+            raise ValueError(
+                f"keep mask has shape {keep.shape}, schedule has "
+                f"{q.shape[0]} entries"
+            )
+        if keep_key is None:
+            keep_key = recv
+        if add_key is None:
+            add_key = np.asarray(add_recv, dtype=np.int64)
+        return CommSchedule.from_entries(
+            self.machine,
+            self.dist_signature,
+            np.concatenate([q[keep], np.asarray(add_q, dtype=np.int64)]),
+            np.concatenate([p[keep], np.asarray(add_p, dtype=np.int64)]),
+            np.concatenate([send[keep], np.asarray(add_send, dtype=np.int64)]),
+            np.concatenate([recv[keep], np.asarray(add_recv, dtype=np.int64)]),
+            ghost_sizes,
+            order_key=np.concatenate(
+                [np.asarray(keep_key)[keep], np.asarray(add_key)]
+            ),
+            costs=self.costs,
+        )
+
     def _pair_dicts(self) -> tuple[dict, dict]:
         if self._send_dict is None:
             send: dict[tuple[int, int], np.ndarray] = {}

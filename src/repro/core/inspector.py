@@ -77,7 +77,7 @@ def run_inspector(
     ttable_variant: str = "auto",
     costs: ChaosCosts = DEFAULT_COSTS,
     ttables: dict[tuple[str, tuple], TranslationTable] | None = None,
-    coalesce_patterns: bool = False,
+    coalesce_patterns: bool = True,
 ) -> InspectorProduct:
     """Run the full inspector for ``loop``.
 
@@ -86,10 +86,14 @@ def run_inspector(
     one so repeated inspections of differently-indexed loops over the
     same arrays don't rebuild tables.
 
-    ``coalesce_patterns=True`` applies PARTI's incremental-schedule idea:
-    all patterns referencing one array are localized *together*, so an
-    element reached through two indirections is fetched once and the
-    loop gathers one schedule per array instead of one per pattern.
+    ``coalesce_patterns=True`` (the default) applies PARTI's
+    incremental-schedule idea: all patterns referencing one array are
+    localized *together*, so an element reached through two indirections
+    is fetched once and the loop gathers one schedule per array instead
+    of one per pattern.  Pass ``False`` to opt out (the historical
+    per-pattern baseline; ``bench_ablation_coalescing`` measures the
+    gap, and the longitudinal bench scenarios pin it for comparability
+    with their committed baselines).
     """
     for name in loop.data_arrays() + loop.indirection_arrays():
         if name not in arrays:

@@ -166,6 +166,37 @@ def _majority_owner(rows: list[np.ndarray]) -> np.ndarray:
     return winner
 
 
+def method_refs(loop: ForallLoop, method: str):
+    """The ArrayRefs a partition method votes over (shared with the
+    incremental re-vote in ``repro.adapt`` -- both must select
+    identically for patched partitions to equal fresh ones)."""
+    if method == "almost_owner":
+        return loop.refs()
+    if method == "owner_computes":
+        return [loop.statements[0].lhs]
+    raise ValueError(
+        f"unknown iteration partition method {method!r}; choose "
+        "almost_owner | owner_computes"
+    )
+
+
+def partition_from_home(
+    home: np.ndarray, n_procs: int, method: str
+) -> IterationPartition:
+    """Group iterations by home processor, ascending iteration index
+    within each home: composite keys ``home * n + i`` direct-sorted give
+    the stable grouping permutation without an indirect argsort.  Used
+    by :func:`partition_iterations` and the incremental patcher (which
+    must reproduce this grouping exactly)."""
+    n = home.size
+    order = np.sort(home * np.int64(n) + np.arange(n, dtype=np.int64)) % n
+    counts = np.bincount(home, minlength=n_procs)
+    bounds = np.zeros(n_procs + 1, dtype=np.int64)
+    np.cumsum(counts, out=bounds[1:])
+    iters = [order[bounds[p] : bounds[p + 1]] for p in range(n_procs)]
+    return IterationPartition(n, iters, method, flat=order, bounds=bounds)
+
+
 def partition_iterations(
     machine: Machine,
     loop: ForallLoop,
@@ -181,6 +212,7 @@ def partition_iterations(
     """
     n = loop.n_iterations
     n_procs = machine.n_procs
+    refs = method_refs(loop, method)
     if n == 0:
         empty = [np.empty(0, dtype=np.int64) for _ in range(n_procs)]
         return IterationPartition(
@@ -191,29 +223,12 @@ def partition_iterations(
             bounds=np.zeros(n_procs + 1, dtype=np.int64),
         )
 
-    if method == "almost_owner":
-        refs = loop.refs()
-    elif method == "owner_computes":
-        refs = [loop.statements[0].lhs]
-    else:
-        raise ValueError(
-            f"unknown iteration partition method {method!r}; choose "
-            "almost_owner | owner_computes"
-        )
-
     # cached per-reference owner rows feed the vote directly: no stacked
     # (k, n) owner matrix, no re-gather for repeated indirections
     rows = _ref_owners(loop, arrays, refs)
     home = _majority_owner(rows)  # ties -> lowest proc
 
-    # group iterations by home processor: composite keys home * n + i
-    # direct-sorted give the stable grouping permutation (ascending
-    # iteration index within each home) without an indirect argsort
-    order = np.sort(home * np.int64(n) + np.arange(n, dtype=np.int64)) % n
-    counts = np.bincount(home, minlength=n_procs)
-    bounds = np.zeros(n_procs + 1, dtype=np.int64)
-    np.cumsum(counts, out=bounds[1:])
-    iters = [order[bounds[p] : bounds[p + 1]] for p in range(n_procs)]
+    part = partition_from_home(home, n_procs, method)
 
     # cost: each processor examines its block of iterations -- one
     # translation probe + vote update per reference
@@ -234,4 +249,4 @@ def partition_iterations(
         nbytes=moved[move_p, move_q] * ITERATION_RECORD_BYTES,
     )
     machine.barrier()
-    return IterationPartition(n, iters, method, flat=order, bounds=bounds)
+    return part

@@ -39,7 +39,7 @@ from repro.core.executor import run_executor
 from repro.core.mapper import partition_geocol
 from repro.core.records import InspectorRecord
 from repro.core.reuse import can_reuse
-from repro.core.timestamps import ModificationRegistry
+from repro.core.timestamps import ModificationRegistry, ranges_from_positions
 from repro.distribution.base import Distribution
 from repro.distribution.decomposition import Decomposition
 from repro.distribution.distarray import DistArray
@@ -69,8 +69,10 @@ class IrregularProgram:
         executor_overhead: float = 1.0,
         track: bool = True,
         merge_communication: bool = False,
-        coalesce_patterns: bool = False,
+        coalesce_patterns: bool = True,
         tracking_scope: str = "all",
+        incremental: bool = False,
+        incremental_threshold: float = 0.35,
     ):
         """``tracking_scope`` selects what the runtime record covers:
         ``"all"`` (the paper's implementation: every distributed-array
@@ -79,11 +81,29 @@ class IrregularProgram:
         some loop's indirection array are stamped, cutting tracking
         cost; the information would come from interprocedural analysis,
         which we approximate by registering indirection DADs as loops
-        are first inspected)."""
+        are first inspected).
+
+        ``coalesce_patterns`` (default on) applies PARTI's incremental-
+        schedule optimization inside the inspector; pass ``False`` to
+        opt out (one schedule per access pattern, the historical
+        baseline the coalescing ablation measures).
+
+        ``incremental=True`` enables the ``repro.adapt`` subsystem: when
+        the conservative reuse check fails only because indirection
+        *values* changed, the saved inspector product is diffed and
+        patched instead of rebuilt (falling back to the full inspector
+        when more than ``incremental_threshold`` of the tracked
+        indirection elements changed, or when no region information is
+        available).  Requires ``track=True``."""
         if tracking_scope not in ("all", "indirection"):
             raise ValueError(
                 f"unknown tracking scope {tracking_scope!r}; "
                 "choose all | indirection"
+            )
+        if incremental and not track:
+            raise ValueError(
+                "incremental inspection needs the runtime modification "
+                "record; pass track=True"
             )
         self.machine = machine
         self.iter_method = iter_method
@@ -102,9 +122,20 @@ class IrregularProgram:
         self.distfmts: dict[str, Distribution] = {}
         self.records: dict[str, InspectorRecord] = {}
         self.ttables: dict = {}
+        if incremental:
+            # core stays importable without adapt; the subsystem sits
+            # above core in the layering and is pulled in on demand
+            from repro.adapt.driver import IncrementalInspector
+
+            self.adapt = IncrementalInspector(
+                self, max_change_fraction=incremental_threshold
+            )
+        else:
+            self.adapt = None
         # statistics the benches report
         self.inspector_runs = 0
         self.reuse_hits = 0
+        self.patch_hits = 0
         self.geocol_reuse_hits = 0
 
     # ------------------------------------------------------------------
@@ -191,11 +222,20 @@ class IrregularProgram:
         dec.align(arr)
         self.arrays[name] = arr
         if self.track:
-            self._record_write([arr])
+            self._record_write(
+                [arr], regions=[np.array([[0, arr.size]], dtype=np.int64)]
+            )
         return arr
 
     def set_array(self, name: str, values) -> None:
-        """Overwrite an array's contents (a writing statement/intrinsic)."""
+        """Overwrite an array's contents (a writing statement/intrinsic).
+
+        The write is stamped with the full ``[0, size)`` region: the
+        incremental inspector may still diff it against its snapshot
+        (whole-array rewrites of mostly-unchanged values are exactly the
+        adaptive-mesh pattern), unlike writes with no region info, which
+        force a full re-inspection.
+        """
         arr = self._array(name)
         values = np.asarray(values)
         if values.shape != (arr.size,):
@@ -207,7 +247,41 @@ class IrregularProgram:
             mem=arr.distribution.local_sizes().astype(np.float64)
         )
         if self.track:
-            self._record_write([arr])
+            self._record_write(
+                [arr], regions=[np.array([[0, arr.size]], dtype=np.int64)]
+            )
+
+    def set_array_elements(self, name: str, positions, values) -> None:
+        """Write individual elements (a scattered writing statement).
+
+        ``positions`` are global indices, ``values`` the new contents.
+        The write is stamped with the minimal range cover of the touched
+        positions, so the incremental inspector diffs only the touched
+        window.  Owners are charged one memory access per written
+        element.
+        """
+        arr = self._array(name)
+        positions = np.asarray(positions, dtype=np.int64)
+        values = np.asarray(values)
+        if positions.shape != values.shape:
+            raise ValueError(
+                f"positions shape {positions.shape} != values shape {values.shape}"
+            )
+        if positions.size and (
+            positions.min() < 0 or positions.max() >= arr.size
+        ):
+            raise ValueError(
+                f"positions out of range for array {name!r} of size {arr.size}"
+            )
+        arr.global_set(positions, values.astype(arr.dtype, copy=False))
+        owners = np.asarray(arr.distribution.owner(positions), dtype=np.int64)
+        self.machine.charge_compute_all(
+            mem=np.bincount(owners, minlength=self.machine.n_procs).astype(
+                np.float64
+            )
+        )
+        if self.track:
+            self._record_write([arr], regions=[ranges_from_positions(positions)])
 
     # ------------------------------------------------------------------
     # Section 4 directives
@@ -342,8 +416,15 @@ class IrregularProgram:
                     merge_communication=self.merge_communication,
                 )
             if self.track:
+                # a FORALL writes (at most) the whole target array: stamp
+                # the full region so an indirection sharing the DAD can
+                # still be diffed instead of forcing a full re-inspection
+                written = [self.arrays[a] for a in loop.written_arrays()]
                 self._record_write(
-                    [self.arrays[a] for a in loop.written_arrays()]
+                    written,
+                    regions=[
+                        np.array([[0, a.size]], dtype=np.int64) for a in written
+                    ],
                 )
 
     def _inspect(self, loop: ForallLoop, reuse: bool):
@@ -361,6 +442,13 @@ class IrregularProgram:
             if decision:
                 self.reuse_hits += 1
                 return record.product
+            if self.adapt is not None:
+                # incremental inspection: a pure condition-3 failure may
+                # be repaired by diffing + patching the saved product
+                product = self.adapt.attempt(loop, record, decision)
+                if product is not None:
+                    self.patch_hits += 1
+                    return product
         with self.machine.phase("inspector"):
             product = run_inspector(
                 self.machine,
@@ -385,25 +473,33 @@ class IrregularProgram:
             },
             product=product,
         )
+        if self.adapt is not None:
+            # capture snapshots + slot bookkeeping for future patches
+            # (inspector-phase work: it only exists to serve inspection)
+            with self.machine.phase("inspector"):
+                self.adapt.after_inspect(loop, self.records[loop.name])
         return product
 
     # ------------------------------------------------------------------
     # helpers
     # ------------------------------------------------------------------
-    def _record_write(self, arrays: list[DistArray]) -> None:
+    def _record_write(self, arrays: list[DistArray], regions=None) -> None:
         dads = [DAD.of(a) for a in arrays]
         if self.tracking_scope == "indirection":
             # Section 3 optimization: only DADs known to be shared with
             # some loop's indirection arrays need stamping.  The check
             # stays conservative because indirection DADs are registered
             # before any record for that loop exists.
-            dads = [d for d in dads if d.signature in self._indirection_dads]
+            keep = [d.signature in self._indirection_dads for d in dads]
+            dads = [d for d, k in zip(dads, keep) if k]
+            if regions is not None:
+                regions = [r for r, k in zip(regions, keep) if k]
             if not dads:
                 # still a writing block: nmod advances, nothing stamped
                 self.registry.record_block_write([])
                 self.machine.charge_compute_all(iops=RECORD_WRITE_IOPS)
                 return
-        self.registry.record_block_write(dads)
+        self.registry.record_block_write(dads, regions=regions)
         self.machine.charge_compute_all(iops=RECORD_WRITE_IOPS * max(len(dads), 1))
 
     def _decomp(self, name: str) -> Decomposition:

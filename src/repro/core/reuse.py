@@ -27,10 +27,20 @@ from repro.distribution.distarray import DistArray
 
 @dataclass(frozen=True)
 class ReuseDecision:
-    """Outcome of the check, with the failed condition for diagnostics."""
+    """Outcome of the check, with the failed condition for diagnostics.
+
+    ``condition`` is the paper's failed condition number (1, 2, or 3;
+    ``None`` when all hold) and ``array`` names the first array that
+    tripped it -- structured fields the incremental-inspection subsystem
+    (``repro.adapt``) uses to decide whether a failure is patchable:
+    only a pure condition-3 failure (indirection *values* changed under
+    unchanged DADs) can be repaired by diffing and patching.
+    """
 
     reusable: bool
     reason: str
+    condition: int | None = None
+    array: str | None = None
 
     def __bool__(self) -> bool:  # pragma: no cover - convenience
         return self.reusable
@@ -57,13 +67,19 @@ def can_reuse(
         current = _current_dad(arrays, name)
         if current != saved:
             return ReuseDecision(
-                False, f"condition 1: data array {name!r} DAD changed"
+                False,
+                f"condition 1: data array {name!r} DAD changed",
+                condition=1,
+                array=name,
             )
     for name, saved in record.ind_dads.items():
         current = _current_dad(arrays, name)
         if current != saved:
             return ReuseDecision(
-                False, f"condition 2: indirection array {name!r} DAD changed"
+                False,
+                f"condition 2: indirection array {name!r} DAD changed",
+                condition=2,
+                array=name,
             )
     for name, saved_stamp in record.ind_last_mod.items():
         current = _current_dad(arrays, name)
@@ -73,6 +89,8 @@ def can_reuse(
                 f"condition 3: indirection array {name!r} may have been "
                 f"modified (last_mod {registry.last_mod(current)} != "
                 f"recorded {saved_stamp})",
+                condition=3,
+                array=name,
             )
     return ReuseDecision(True, "all conditions hold")
 

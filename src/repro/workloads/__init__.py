@@ -47,6 +47,13 @@ from repro.workloads.sparse import (
     setup_spmv_program,
     spmv_sequential_reference,
 )
+from repro.workloads.adaptive import (
+    EdgeUpdate,
+    RefinementSchedule,
+    apply_adaptation,
+    build_refinement_schedule,
+    refine_edges,
+)
 
 
 @dataclass(frozen=True)
@@ -105,6 +112,11 @@ __all__ = [
     "spmv_loop",
     "setup_spmv_program",
     "spmv_sequential_reference",
+    "EdgeUpdate",
+    "RefinementSchedule",
+    "apply_adaptation",
+    "build_refinement_schedule",
+    "refine_edges",
     "ScaleConfig",
     "scale_config",
 ]

@@ -141,7 +141,9 @@ class TestExecutorIntegration:
                            (ArrayRef("x", "ia"), ArrayRef("x", "ib")), flops=2),
                 ],
             )
-            product = run_inspector(m, loop, arrays)
+            # per-pattern schedules (coalescing off): message merging is
+            # the optimization under test and needs something to merge
+            product = run_inspector(m, loop, arrays, coalesce_patterns=False)
             run_executor(m, product, arrays, n_times=3, merge_communication=merge)
             outs[merge] = (arrays["y"].to_global(), m.elapsed())
         assert np.allclose(outs[False][0], outs[True][0])

@@ -50,7 +50,15 @@ class TestMergeCommunication:
         stats = {}
         for merge in (False, True):
             m = Machine(8)
-            prog = build(m, n_nodes=200, n_edges=800, merge_communication=merge)
+            # coalescing off: with one schedule per array there is
+            # nothing left for message merging to combine
+            prog = build(
+                m,
+                n_nodes=200,
+                n_edges=800,
+                merge_communication=merge,
+                coalesce_patterns=False,
+            )
             m.reset()
             prog.forall(edge_loop(800), n_times=10)
             stats[merge] = (

@@ -109,6 +109,59 @@ class TestConditions:
         assert not can_reuse(rec, arrays, reg).reusable
 
 
+class TestDecisionFields:
+    """Every ReuseDecision branch carries structured condition/array
+    fields (the incremental inspector routes on them)."""
+
+    def test_success_branch(self, setup):
+        m, arrays, reg = setup
+        decision = can_reuse(make_record(arrays, reg), arrays, reg)
+        assert decision.reusable
+        assert decision.reason == "all conditions hold"
+        assert decision.condition is None and decision.array is None
+
+    def test_condition1_fields(self, setup):
+        m, arrays, reg = setup
+        rec = make_record(arrays, reg)
+        new = IrregularDistribution(np.arange(16) % 4, 4)
+        arrays["x"].rebind(new, [np.zeros(new.local_size(p)) for p in range(4)])
+        decision = can_reuse(rec, arrays, reg)
+        assert (decision.condition, decision.array) == (1, "x")
+        assert "condition 1" in decision.reason
+
+    def test_condition2_fields(self, setup):
+        m, arrays, reg = setup
+        rec = make_record(arrays, reg)
+        new = IrregularDistribution(np.arange(24) % 4, 4)
+        arrays["ia"].rebind(
+            new, [np.zeros(new.local_size(p), dtype=np.int64) for p in range(4)]
+        )
+        decision = can_reuse(rec, arrays, reg)
+        assert (decision.condition, decision.array) == (2, "ia")
+        assert "condition 2" in decision.reason
+
+    def test_condition3_fields(self, setup):
+        m, arrays, reg = setup
+        rec = make_record(arrays, reg)
+        reg.record_block_write([DAD.of(arrays["ia"])])
+        decision = can_reuse(rec, arrays, reg)
+        assert (decision.condition, decision.array) == (3, "ia")
+        assert "condition 3" in decision.reason
+        assert not bool(decision)
+
+    def test_condition3_names_first_failing_indirection(self, setup):
+        """With several indirections, the first failing one (record
+        insertion order) is reported."""
+        m, arrays, reg = setup
+        arrays["ib"] = DistArray(
+            m, BlockDistribution(32, 4), dtype=np.int64, name="ib"
+        )
+        rec = make_record(arrays, reg, ind=("ia", "ib"))
+        reg.record_block_write([DAD.of(arrays["ib"])])
+        decision = can_reuse(rec, arrays, reg)
+        assert (decision.condition, decision.array) == (3, "ib")
+
+
 @given(trace=st.lists(st.sampled_from(["write_ia", "write_y", "remap_x", "remap_ia"]), max_size=8))
 @settings(max_examples=80, deadline=None)
 def test_reuse_is_conservative_on_random_traces(trace):
