@@ -20,6 +20,9 @@ The package rebuilds the paper's full stack in Python:
 * :mod:`repro.adapt` -- incremental inspection for adaptive codes:
   region-level dirty tracking, reference diffing, and schedule/ghost
   patching instead of full re-inspection;
+* :mod:`repro.guard` -- robustness substrate: invariant verification,
+  deterministic fault injection, typed failure recovery, and
+  checkpoint/restore of long campaigns;
 * :mod:`repro.lang` -- a Fortran-90D-like directive frontend that
   performs the paper's compile-time transformation (Figure 6);
 * :mod:`repro.workloads` -- unstructured-mesh (Euler) and molecular-
@@ -77,6 +80,19 @@ from repro.core import (
 )
 from repro.partitioners import get_partitioner, available_partitioners
 from repro.adapt import AdaptiveExecutor
+from repro.guard import (
+    CheckpointError,
+    FaultPlan,
+    GuardError,
+    InvariantViolation,
+    PatchAborted,
+    PatchError,
+    PatchVerifyFailed,
+    load_checkpoint,
+    restore_checkpoint,
+    save_checkpoint,
+    verify_product,
+)
 
 __version__ = "1.0.0"
 
@@ -108,5 +124,16 @@ __all__ = [
     "AdaptiveExecutor",
     "get_partitioner",
     "available_partitioners",
+    "CheckpointError",
+    "FaultPlan",
+    "GuardError",
+    "InvariantViolation",
+    "PatchAborted",
+    "PatchError",
+    "PatchVerifyFailed",
+    "load_checkpoint",
+    "restore_checkpoint",
+    "save_checkpoint",
+    "verify_product",
     "__version__",
 ]

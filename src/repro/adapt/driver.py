@@ -18,6 +18,25 @@ when the Section 3 reuse check fails:
 steps a loop, classifies each step (``full`` / ``reuse`` / ``patch``)
 and records the simulated inspector cost per step -- what
 ``benchmarks/bench_table_adapt.py`` reports.
+
+Degradation is *graceful and bounded* (the escalation ladder):
+
+1. a patch attempt that raises a typed failure
+   (:class:`~repro.guard.errors.PatchAborted`, or
+   :class:`~repro.guard.errors.PatchVerifyFailed` when the patched
+   product fails post-patch invariant verification) discards the loop's
+   saved adapt state and falls back to the conservative full inspector
+   -- correctness never depends on a product that failed verification;
+2. every fallback, including routine routing ones (unpatchable
+   condition, missing state or region info, churn over threshold),
+   appends a structured record to ``fallback_log`` and is surfaced
+   per-step through :class:`AdaptiveExecutor.history`;
+3. after ``max_failures`` patch failures on one loop, incremental
+   inspection is disabled for that loop (``disabled``) -- a persistent
+   bookkeeping bug cannot cause a patch/fail/re-inspect livelock.
+
+Only the typed hierarchy is caught; unexpected exceptions (``KeyError``,
+``IndexError``, ...) are bugs and propagate.
 """
 
 from __future__ import annotations
@@ -36,6 +55,8 @@ from repro.core.dad import DAD
 from repro.core.forall import ForallLoop
 from repro.core.records import InspectorRecord
 from repro.core.reuse import ReuseDecision
+from repro.guard.errors import InvariantViolation, PatchError, PatchVerifyFailed
+from repro.guard.invariants import verify_product
 
 #: fixed integer ops for deciding whether a reuse failure is patchable
 PATCH_CHECK_IOPS = 10.0
@@ -44,19 +65,50 @@ PATCH_CHECK_IOPS = 10.0
 class IncrementalInspector:
     """Per-program incremental-inspection state and patch routing."""
 
-    def __init__(self, program, max_change_fraction: float = 0.35):
+    def __init__(
+        self,
+        program,
+        max_change_fraction: float = 0.35,
+        max_failures: int = 3,
+    ):
         if not 0.0 < max_change_fraction <= 1.0:
             raise ValueError(
                 f"max_change_fraction must be in (0, 1], got {max_change_fraction}"
             )
+        if max_failures < 1:
+            raise ValueError(f"max_failures must be >= 1, got {max_failures}")
         self.program = program
         self.max_change_fraction = max_change_fraction
+        self.max_failures = max_failures
         self.states: dict[str, object] = {}
         #: stats of the most recent successful patch (bench introspection)
         self.last_patch: PatchResult | None = None
         #: the exception that aborted the most recent patch attempt, if
         #: any -- the driver recovered by falling back to full inspection
         self.last_error: Exception | None = None
+        #: structured record of every fallback to the full inspector:
+        #: {"loop", "stage", "reason", "error", **detail}
+        self.fallback_log: list[dict] = []
+        #: per-loop count of typed patch failures (aborts + verify)
+        self.failures: dict[str, int] = {}
+        #: loops whose incremental inspection was disabled after
+        #: ``max_failures`` failures (the ladder's last rung)
+        self.disabled: set[str] = set()
+
+    # ------------------------------------------------------------------
+    def _fallback(self, loop_name: str, stage: str, reason: str, error=None, **detail):
+        """Record one fall-back-to-full-inspection decision; returns None
+        (the sentinel ``attempt`` hands the caller)."""
+        self.fallback_log.append(
+            {
+                "loop": loop_name,
+                "stage": stage,
+                "reason": reason,
+                "error": None if error is None else f"{type(error).__name__}: {error}",
+                **detail,
+            }
+        )
+        return None
 
     # ------------------------------------------------------------------
     def after_inspect(self, loop: ForallLoop, record: InspectorRecord) -> None:
@@ -70,14 +122,21 @@ class IncrementalInspector:
         self, loop: ForallLoop, record: InspectorRecord, decision: ReuseDecision
     ):
         """Try to patch after a failed reuse check; ``None`` means the
-        caller must run the full inspector."""
+        caller must run the full inspector.  Every ``None`` leaves a
+        structured record in ``fallback_log`` saying why."""
+        if loop.name in self.disabled:
+            # last rung of the ladder: this loop failed too often
+            return self._fallback(loop.name, "route", "incremental_disabled")
         if decision.condition != 3:
             # conditions are checked in order, so condition 3 implies
             # every DAD is intact -- the only patchable failure mode
-            return None
+            return self._fallback(
+                loop.name, "route", "unpatchable_condition",
+                condition=decision.condition,
+            )
         state = self.states.get(loop.name)
         if state is None:
-            return None
+            return self._fallback(loop.name, "route", "no_saved_state")
         machine = self.program.machine
         registry = self.program.registry
         arrays = self.program.arrays
@@ -94,7 +153,9 @@ class IncrementalInspector:
             if ranges is None:
                 # some write carried no region info: anything may have
                 # changed -- fall back to the conservative full inspector
-                return None
+                return self._fallback(
+                    loop.name, "route", "no_region_info", array=name
+                )
             dirty[name] = ranges
 
         with machine.phase("inspector"):
@@ -122,8 +183,12 @@ class IncrementalInspector:
                 n_changed += int(chg.size)
             if n_tracked and n_changed > self.max_change_fraction * n_tracked:
                 # too much churn: a full inspection is the better deal
-                # (the diff work above was the price of finding out)
-                return None
+                # (the diff work above was the price of finding out).
+                # the comparison is strict: exactly-at-threshold patches.
+                return self._fallback(
+                    loop.name, "route", "over_threshold",
+                    n_changed=n_changed, n_tracked=n_tracked,
+                )
             self.last_error = None
             try:
                 result = patch_product(
@@ -135,15 +200,31 @@ class IncrementalInspector:
                     self._ttables_for(record),
                     costs=self.program.costs,
                 )
-            except Exception as exc:
+                self._verify_patch(loop, result)
+            except (PatchError, InvariantViolation) as exc:
                 # patch_product keeps state consistent on failure (its
                 # slot spaces persist only after every group succeeds),
                 # so the conservative full inspector is a safe recovery:
-                # drop this loop's state (rebuilt after the full run)
-                # and report the failure through last_error
+                # drop this loop's state (rebuilt after the full run),
+                # count the failure toward the disable threshold, and
+                # report it through last_error + fallback_log.  only the
+                # typed hierarchy is recoverable; anything else is a bug
+                # and propagates.
                 self.states.pop(loop.name, None)
                 self.last_error = exc
-                return None
+                count = self.failures.get(loop.name, 0) + 1
+                self.failures[loop.name] = count
+                if count >= self.max_failures:
+                    self.disabled.add(loop.name)
+                stage = "verify" if isinstance(exc, PatchVerifyFailed) else "patch"
+                return self._fallback(
+                    loop.name,
+                    stage,
+                    "verify_failed" if stage == "verify" else "patch_aborted",
+                    error=exc,
+                    failure_count=count,
+                    disabled=loop.name in self.disabled,
+                )
         self.last_patch = result
         record.product = result.product
         record.ind_last_mod = {
@@ -151,6 +232,40 @@ class IncrementalInspector:
             for name in record.ind_last_mod
         }
         return result.product
+
+    # ------------------------------------------------------------------
+    def _verify_patch(self, loop: ForallLoop, result: PatchResult) -> None:
+        """Post-patch verification rung of the ladder (host-level, uncharged).
+
+        Runs the invariant checkers over the patched product at the
+        program's guard level, raised to at least ``cheap`` while a
+        fault plan is installed (skipped entirely only when the guard is
+        off and no faults are active).  An installed
+        :class:`~repro.guard.faults.FaultPlan` gets its post-patch hook
+        first, so injected slot flips face the same verification real
+        corruption would.
+        """
+        machine = self.program.machine
+        faults = machine.faults
+        if faults is not None:
+            faults.on_patched_product(result.product)
+        level = getattr(self.program, "guard", "off")
+        if level == "off":
+            if faults is None:
+                return
+            level = "cheap"
+        try:
+            verify_product(
+                result.product,
+                self.program.arrays,
+                level,
+                state=self.states.get(loop.name),
+            )
+        except InvariantViolation as exc:
+            raise PatchVerifyFailed(
+                f"patched product for loop {loop.name!r} failed {level} "
+                f"verification: {exc}"
+            ) from exc
 
     # ------------------------------------------------------------------
     def _ttables_for(self, record: InspectorRecord) -> dict:
@@ -177,8 +292,15 @@ class AdaptiveExecutor:
     Each :meth:`step` runs one sweep through the program's FORALL path
     and classifies how its inspection was satisfied: a full inspector
     run, a straight reuse hit, or an incremental patch.  ``history``
-    keeps per-step ``(mode, simulated inspector seconds)`` so adaptive
-    benches can attribute inspector cost to adaptation events.
+    keeps per-step ``(mode, simulated inspector seconds, fallbacks)`` so
+    adaptive benches can attribute inspector cost to adaptation events
+    and a run can never *silently* continue past a failed verification:
+    every fall-back decision the incremental inspector took during a
+    step rides along in that step's ``fallbacks`` list.
+
+    Long campaigns survive crashes: ``run(n, checkpoint_every=k,
+    checkpoint_path=p)`` writes a full program checkpoint every ``k``
+    steps, and :meth:`resume` continues bit-identically from one.
     """
 
     def __init__(self, program, loop: ForallLoop):
@@ -189,10 +311,12 @@ class AdaptiveExecutor:
     def step(self) -> str:
         prog = self.program
         machine = prog.machine
+        adapt = prog.adapt
         before = (
             prog.inspector_runs,
             prog.patch_hits,
             machine.phase_time("inspector"),
+            len(adapt.fallback_log) if adapt is not None else 0,
         )
         prog.forall(self.loop, n_times=1)
         if prog.inspector_runs > before[0]:
@@ -205,12 +329,64 @@ class AdaptiveExecutor:
             {
                 "mode": mode,
                 "inspector_time": machine.phase_time("inspector") - before[2],
+                "fallbacks": (
+                    list(adapt.fallback_log[before[3] :])
+                    if adapt is not None
+                    else []
+                ),
             }
         )
         return mode
 
-    def run(self, n_steps: int) -> list[str]:
-        return [self.step() for _ in range(n_steps)]
+    def run(
+        self,
+        n_steps: int,
+        checkpoint_every: int | None = None,
+        checkpoint_path=None,
+    ) -> list[str]:
+        """Run ``n_steps`` sweeps; optionally checkpoint every ``k`` steps.
+
+        With ``checkpoint_every=k`` (requires ``checkpoint_path``), the
+        full program + driver state is serialized after every ``k``-th
+        step; a later :meth:`resume` from that file continues the
+        campaign bit-identically with an uninterrupted run.
+        """
+        if checkpoint_every is not None:
+            if checkpoint_every < 1:
+                raise ValueError(
+                    f"checkpoint_every must be >= 1, got {checkpoint_every}"
+                )
+            if checkpoint_path is None:
+                raise ValueError("checkpoint_every needs a checkpoint_path")
+        modes = []
+        for i in range(n_steps):
+            modes.append(self.step())
+            if checkpoint_every is not None and (i + 1) % checkpoint_every == 0:
+                self.checkpoint(checkpoint_path)
+        return modes
+
+    def checkpoint(self, path) -> None:
+        """Serialize program + driver state to ``path`` (versioned, CRC'd)."""
+        from repro.guard.checkpoint import save_checkpoint
+
+        save_checkpoint(path, self.program, driver=self)
+
+    @classmethod
+    def resume(cls, path, program, loop: ForallLoop) -> "AdaptiveExecutor":
+        """Rebuild an executor mid-campaign from a checkpoint file.
+
+        ``program`` must be a freshly constructed program with the same
+        shape (machine size, arrays, options) as the checkpointed one;
+        ``loop`` is the campaign loop (loops hold callables, so they are
+        re-bound rather than serialized).  The restored executor's next
+        :meth:`step` produces the same simulated numbers the
+        uninterrupted run would have.
+        """
+        from repro.guard.checkpoint import restore_checkpoint
+
+        exe = cls(program, loop)
+        restore_checkpoint(path, program, {loop.name: loop}, driver=exe)
+        return exe
 
     def mode_counts(self) -> dict[str, int]:
         out = {"full": 0, "reuse": 0, "patch": 0}

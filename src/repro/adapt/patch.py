@@ -51,6 +51,7 @@ from repro.core.iteration import (
 )
 from repro.adapt.state import GroupState, LoopAdaptState, group_state_key, product_groups
 from repro.distribution.distarray import DistArray
+from repro.guard.errors import PatchAborted
 from repro.machine.machine import Machine
 
 #: integer ops per dirty element for the snapshot-vs-current compare
@@ -317,7 +318,7 @@ def _patch_group(
     if found_slots.size:
         np.add.at(counts, found_slots, 1)
     if counts.size and counts.min() < 0:
-        raise RuntimeError(
+        raise PatchAborted(
             f"adapt: negative reference count patching group "
             f"{array_name}/{gstate.indexes} -- state out of sync"
         )
@@ -587,24 +588,32 @@ def patch_product(
         arr = arrays[gstate.array]
         tkey = (gstate.array, arr.distribution.signature())
         ttable = ttables[tkey]
-        out = _patch_group(
-            machine,
-            arrays,
-            product,
-            gstate,
-            member_keys,
-            ttable,
-            changed,
-            home_old,
-            home_new,
-            moved,
-            inv_old,
-            new_iter_flat,
-            new_bounds,
-            inv_new,
-            costs,
-            trans_cache,
-        )
+        try:
+            out = _patch_group(
+                machine,
+                arrays,
+                product,
+                gstate,
+                member_keys,
+                ttable,
+                changed,
+                home_old,
+                home_new,
+                moved,
+                inv_old,
+                new_iter_flat,
+                new_bounds,
+                inv_new,
+                costs,
+                trans_cache,
+            )
+        except ValueError as exc:
+            # schedule/buffer assembly rejected the delta (shrunk ghost
+            # region, mismatched shapes): the saved state disagrees with
+            # the product -- a recoverable abort, nothing persisted yet
+            raise PatchAborted(
+                f"adapt: patch assembly failed for group {gkey}: {exc}"
+            ) from exc
         if out is None:
             continue
         group_patterns, stats, new_gstate = out

@@ -24,6 +24,19 @@ views (compat for callers that still think in lists), and ``fill`` is
 one vector operation over the backing.  The layout is fixed for the
 lifetime of the object: it is sized by the schedule at construction and
 the backing is never reallocated, so views stay valid.
+
+Invariant contract
+------------------
+Checked by :func:`repro.guard.invariants.verify_ghosts`:
+
+* ``offsets`` is a monotone CSR starting at 0 and ``backing`` is 1-D
+  with exactly ``offsets[-1]`` elements;
+* ``np.diff(offsets)`` equals the bound schedule's ``ghost_sizes``
+  element for element;
+* after incremental patching, retired slots are *holes*: they keep
+  their backing positions, no schedule entry targets them (schedule
+  occupancy must match the adapt state's live reference counts), and
+  their contents are dead -- correctness never reads a hole.
 """
 
 from __future__ import annotations

@@ -34,6 +34,27 @@ A schedule is *bound to a distribution signature*: applying it to an
 array whose distribution has changed since inspection is a hard error
 (this is exactly the staleness the paper's reuse check prevents, so the
 runtime enforces it defensively too).
+
+Invariant contract
+------------------
+Machine-checked by :func:`repro.guard.invariants.verify_schedule` (and
+the product-level checkers that cross-reference the localized ghost
+keys and adapt slot bookkeeping):
+
+* ``_ghost_off`` is the exclusive prefix sum of ``ghost_sizes``;
+  ``_pair_len`` entries are strictly positive (live pairs only) and sum
+  to ``_flat_send``/``_flat_recv``'s length;
+* every pair id is in ``[0, n_procs)``; canonically built schedules
+  (``localize``, ``from_entries``, ``patched``) keep pairs
+  requester-major / owner-minor, and within a pair elements are sorted
+  by ghost global index (key-sorted wire order);
+* every recv slot is in range for its requester's ghost region, and no
+  ghost backing position is unpacked twice in one gather;
+* after incremental patching, schedule entries target only *live* ghost
+  slots: occupancy over the slot space must equal ``counts > 0`` of the
+  saved adapt state (retired slots are holes no entry touches), and
+  each entry's ``(owner, send offset, ghost key)`` must agree with the
+  saved per-slot map.
 """
 
 from __future__ import annotations
@@ -449,17 +470,33 @@ class CommSchedule:
         """Pack owners' elements onto the wire, unpack into ghost buffers."""
         # one fancy-index over the flat backing packs every owner at once
         wire = arr.backing_ro[self._pack_positions(arr)]
+        keep = None
+        faults = self.machine.faults
+        if faults is not None:
+            # fault injection hook: may corrupt/duplicate wire elements
+            # (returns a perturbed copy) or drop some (keep mask); the
+            # charged message volume below is untouched either way
+            wire, keep = faults.on_gather_wire(wire)
         backing = self._resolve_ghosts(ghosts)
         if backing is not None:
             # one store over the flat ghost backing unpacks every
             # requester at once; element order is flat (pair) order, so
             # duplicate-slot last-writer semantics match the old loop
-            backing[self._unpack_pos] = wire[self._unpack_src]
+            if keep is None:
+                backing[self._unpack_pos] = wire[self._unpack_src]
+            else:
+                sel = keep[self._unpack_src]
+                backing[self._unpack_pos[sel]] = wire[self._unpack_src[sel]]
             return
         off = self._unpack_offsets
         for p in self._unpack_procs:
             seg = slice(off[p], off[p + 1])
-            ghosts[p][self._unpack_dst[seg]] = wire[self._unpack_src[seg]]
+            src = self._unpack_src[seg]
+            dst = self._unpack_dst[seg]
+            if keep is not None:
+                m = keep[src]
+                src, dst = src[m], dst[m]
+            ghosts[p][dst] = wire[src]
 
     def _gather_from_ghosts(self, ghosts, dtype) -> np.ndarray:
         """Pack ghost contributions onto the wire (reverse direction)."""

@@ -39,6 +39,8 @@ def run_executor(
     n_times: int = 1,
     overhead_factor: float = 1.0,
     merge_communication: bool = False,
+    guard: str = "off",
+    guard_log: list | None = None,
 ) -> None:
     """Execute a loop ``n_times`` using saved inspector results.
 
@@ -48,6 +50,16 @@ def run_executor(
     PARTI's schedule-merging optimization: all gather (and all
     reduction-scatter) payloads for one processor pair travel in a
     single message per phase instead of one per access pattern.
+
+    ``guard`` selects post-gather content verification (see
+    ``repro.guard.invariants``): at ``"full"`` -- or at any non-off
+    level while a fault plan is installed on the machine -- every
+    gathered ghost value is checked against the owner's current value;
+    a divergence is repaired with one uncharged data-only re-gather
+    (recorded in ``guard_log``) or, if irreparable, raised as an
+    ``InvariantViolation``.  The check and the repair are host-level:
+    they never charge the simulated machine, so guarded runs keep
+    bit-identical simulated numbers.
     """
     if n_times < 0:
         raise ValueError(f"negative execution count {n_times}")
@@ -55,7 +67,15 @@ def run_executor(
         raise ValueError("overhead_factor models slowdown; must be >= 1")
     _check_fresh(product, arrays)
     for _ in range(n_times):
-        _execute_once(machine, product, arrays, overhead_factor, merge_communication)
+        _execute_once(
+            machine,
+            product,
+            arrays,
+            overhead_factor,
+            merge_communication,
+            guard=guard,
+            guard_log=guard_log,
+        )
 
 
 def _check_fresh(product: InspectorProduct, arrays: dict[str, DistArray]) -> None:
@@ -116,12 +136,47 @@ class _PatternSpace:
         return localized.refs_flat + self.offsets[ref_pid]
 
 
+def _verify_gathers(machine, product, arrays, gather_items, guard_log) -> None:
+    """Content-check every gather; repair divergences with an uncharged
+    re-gather (fault injection suspended so the repair is clean)."""
+    from repro.guard.errors import InvariantViolation
+    from repro.guard.faults import suspended
+    from repro.guard.invariants import gather_divergence
+
+    for sched, arr, ghosts, pat in gather_items:
+        bad = gather_divergence(pat, arr)
+        if not bad.size:
+            continue
+        with suspended(machine):
+            sched._move_gather(arr, ghosts)
+        still = gather_divergence(pat, arr)
+        if guard_log is not None:
+            guard_log.append(
+                {
+                    "event": "gather_divergence",
+                    "loop": product.loop.name,
+                    "array": pat.array,
+                    "n_bad": int(bad.size),
+                    "recovered": not still.size,
+                }
+            )
+        if still.size:
+            raise InvariantViolation(
+                f"gather for array {pat.array!r} of loop "
+                f"{product.loop.name!r} diverges from owner data at "
+                f"{int(still.size)} ghost position(s) and a clean "
+                "re-gather did not repair it"
+            )
+
+
 def _execute_once(
     machine: Machine,
     product: InspectorProduct,
     arrays: dict[str, DistArray],
     overhead: float,
     merge_communication: bool = False,
+    guard: str = "off",
+    guard_log: list | None = None,
 ) -> None:
     loop = product.loop
     n_procs = machine.n_procs
@@ -143,12 +198,20 @@ def _execute_once(
         if sid in seen_schedules:
             continue
         seen_schedules.add(sid)
-        gather_items.append((pat.localized.schedule, arrays[pat.array], pat.ghosts))
+        gather_items.append(
+            (pat.localized.schedule, arrays[pat.array], pat.ghosts, pat)
+        )
     if merge_communication and gather_items:
-        gather_merged(gather_items)
+        gather_merged([(s, a, g) for s, a, g, _ in gather_items])
     else:
-        for sched, arr, ghosts in gather_items:
+        for sched, arr, ghosts, _ in gather_items:
             sched.gather(arr, ghosts)
+    # post-gather content verification: at guard "full" always, and at
+    # any level while faults are being injected (detection is the point
+    # of injecting them; the patch-verify rung does the same).
+    # host-level -- charges nothing.
+    if gather_items and (guard == "full" or machine.faults is not None):
+        _verify_gathers(machine, product, arrays, gather_items, guard_log)
 
     # flat combined-space setup per pattern, cached on the immutable
     # product: reuse scenarios execute the same product once per time

@@ -27,6 +27,8 @@ whatever the caller arranges manually.
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
@@ -73,6 +75,7 @@ class IrregularProgram:
         tracking_scope: str = "all",
         incremental: bool = False,
         incremental_threshold: float = 0.35,
+        guard: str | None = None,
     ):
         """``tracking_scope`` selects what the runtime record covers:
         ``"all"`` (the paper's implementation: every distributed-array
@@ -94,7 +97,16 @@ class IrregularProgram:
         patched instead of rebuilt (falling back to the full inspector
         when more than ``incremental_threshold`` of the tracked
         indirection elements changed, or when no region information is
-        available).  Requires ``track=True``."""
+        available).  Requires ``track=True``.
+
+        ``guard`` selects runtime invariant checking (``"off"`` /
+        ``"cheap"`` / ``"full"``; see ``repro.guard``): inspector
+        products are verified after every full inspection and after
+        every incremental patch, and at ``"full"`` gathered ghost data
+        is content-checked against the owners each executor run.  All
+        checks are host-level -- simulated numbers stay bit-identical
+        at every level.  ``None`` (default) reads the ``REPRO_GUARD``
+        environment variable, falling back to ``"off"``."""
         if tracking_scope not in ("all", "indirection"):
             raise ValueError(
                 f"unknown tracking scope {tracking_scope!r}; "
@@ -114,6 +126,17 @@ class IrregularProgram:
         self.merge_communication = merge_communication
         self.coalesce_patterns = coalesce_patterns
         self.tracking_scope = tracking_scope
+        if guard is None:
+            guard = os.environ.get("REPRO_GUARD", "off")
+        # guard sits above core in the layering (its checkpoint layer
+        # imports core), so the validator is pulled in lazily
+        from repro.guard.invariants import check_level
+
+        self.guard = check_level(guard)
+        #: structured log of guard detections/recoveries (executor-side
+        #: gather divergences land here; patch fallbacks live in
+        #: ``self.adapt.fallback_log``)
+        self.guard_events: list[dict] = []
         self._indirection_dads: set[tuple] = set()
         self.registry = ModificationRegistry()
         self.arrays: dict[str, DistArray] = {}
@@ -261,17 +284,35 @@ class IrregularProgram:
         element.
         """
         arr = self._array(name)
-        positions = np.asarray(positions, dtype=np.int64)
+        positions = np.asarray(positions)
+        if positions.size == 0:
+            raise ValueError(
+                f"empty update for array {name!r}: no positions given"
+            )
+        if not np.issubdtype(positions.dtype, np.integer):
+            raise ValueError(
+                f"positions for array {name!r} must be integers, "
+                f"got dtype {positions.dtype}"
+            )
+        if positions.ndim != 1:
+            raise ValueError(
+                f"positions for array {name!r} must be 1-D, "
+                f"got shape {positions.shape}"
+            )
+        positions = positions.astype(np.int64, copy=False)
         values = np.asarray(values)
         if positions.shape != values.shape:
             raise ValueError(
                 f"positions shape {positions.shape} != values shape {values.shape}"
             )
-        if positions.size and (
-            positions.min() < 0 or positions.max() >= arr.size
-        ):
+        if positions.min() < 0 or positions.max() >= arr.size:
             raise ValueError(
                 f"positions out of range for array {name!r} of size {arr.size}"
+            )
+        if not np.can_cast(values.dtype, arr.dtype, casting="same_kind"):
+            raise ValueError(
+                f"cannot safely write {values.dtype} values into array "
+                f"{name!r} of dtype {arr.dtype}"
             )
         arr.global_set(positions, values.astype(arr.dtype, copy=False))
         owners = np.asarray(arr.distribution.owner(positions), dtype=np.int64)
@@ -414,6 +455,8 @@ class IrregularProgram:
                     n_times=1,
                     overhead_factor=self.executor_overhead,
                     merge_communication=self.merge_communication,
+                    guard=self.guard,
+                    guard_log=self.guard_events,
                 )
             if self.track:
                 # a FORALL writes (at most) the whole target array: stamp
@@ -461,6 +504,12 @@ class IrregularProgram:
                 coalesce_patterns=self.coalesce_patterns,
             )
         self.inspector_runs += 1
+        if self.guard != "off":
+            # verify the fresh product at the configured level
+            # (host-level, uncharged -- outside the inspector phase)
+            from repro.guard.invariants import verify_product
+
+            verify_product(product, self.arrays, self.guard)
         for a in loop.indirection_arrays():
             self._indirection_dads.add(DAD.of(self.arrays[a]).signature)
         self.records[loop.name] = InspectorRecord(

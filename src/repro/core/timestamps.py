@@ -45,7 +45,12 @@ _MAX_EVENTS = 64
 
 def normalize_ranges(ranges, size: int | None = None) -> np.ndarray:
     """Validate and normalize ranges to a ``(k, 2)`` int64 array."""
-    arr = np.asarray(ranges, dtype=np.int64)
+    arr = np.asarray(ranges)
+    if arr.size and not np.issubdtype(arr.dtype, np.integer):
+        raise ValueError(
+            f"ranges must be integer [lo, hi) pairs, got dtype {arr.dtype}"
+        )
+    arr = arr.astype(np.int64, copy=False)
     if arr.size == 0:
         return arr.reshape(0, 2)
     if arr.ndim != 2 or arr.shape[1] != 2:
@@ -64,7 +69,10 @@ def ranges_from_positions(positions) -> np.ndarray:
     unit ranges.  Used by write APIs that update scattered elements and
     need to record what they touched.
     """
-    pos = np.unique(np.asarray(positions, dtype=np.int64))
+    pos = np.asarray(positions)
+    if pos.size and not np.issubdtype(pos.dtype, np.integer):
+        raise ValueError(f"positions must be integers, got dtype {pos.dtype}")
+    pos = np.unique(pos.astype(np.int64, copy=False))
     if not pos.size:
         return np.empty((0, 2), dtype=np.int64)
     if (pos < 0).any():
@@ -136,6 +144,11 @@ class ModificationRegistry:
         new ``nmod``.
         """
         dads = list(dads)
+        for dad in dads:
+            if not isinstance(dad, DAD):
+                raise ValueError(
+                    f"record_block_write takes DAD instances, got {type(dad).__name__}"
+                )
         if regions is not None and len(regions) != len(dads):
             raise ValueError(
                 f"got {len(regions)} region entries for {len(dads)} DADs"
@@ -177,6 +190,9 @@ class ModificationRegistry:
         window recorded no region information -- the caller must assume
         the whole array is dirty.
         """
+        since = int(since)
+        if since < 0:
+            raise ValueError(f"since must be a stamp >= 0, got {since}")
         parts = []
         for stamp, ranges in self._events.get(dad.signature, ()):
             if stamp <= since:

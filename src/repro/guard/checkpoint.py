@@ -1,0 +1,521 @@
+"""Versioned checkpoint/restore for long adaptive campaigns.
+
+A checkpoint captures everything a mid-campaign
+:class:`~repro.adapt.driver.AdaptiveExecutor` run needs to continue
+**bit-identically** with an uninterrupted one:
+
+* the machine's counters (per-processor clocks, message/byte/op tallies)
+  and its phase records,
+* every distributed array's flat backing (validated against the live
+  distribution signature on restore),
+* the modification registry (``nmod``, ``last_mod``, the per-DAD dirty
+  event log),
+* the saved inspector records with their products -- iteration
+  partitions, localized reference lists, communication schedules and
+  ghost buffers, serialized in flat-array form through a *unique-object
+  table* so that schedules/buffers shared between coalesced patterns
+  come back as shared objects (pattern grouping and executor
+  deduplication key on identity),
+* the incremental-inspection state (snapshots, slot bookkeeping, the
+  escalation ladder's failure counters and fallback log), and
+* the driver's per-step history.
+
+Two things are deliberately *not* serialized:
+
+* **loops** -- :class:`~repro.core.forall.ForallLoop` holds user
+  callables; the caller re-binds them by name through the ``loops``
+  mapping of :func:`restore_checkpoint`, and
+* **translation tables** -- they are pure functions of (distribution,
+  costs, variant); restore rebuilds the cached ones against a scratch
+  machine so the (already-checkpointed) construction charges are not
+  applied twice, then rebinds them to the live machine.
+
+The file format is an envelope ``{"format", "version", "crc",
+"payload"}`` where ``payload`` is a pickled plain-data dict and ``crc``
+is its CRC-32; :class:`~repro.guard.errors.CheckpointError` is raised on
+a truncated/corrupted file, a version mismatch, or a shape mismatch with
+the program being restored (machine size, array set, distribution
+signatures).
+
+Scope: the campaign path (``forall`` / array writes / incremental
+patching).  Mapper-coupling state (GeoCoL graphs, partitioner results)
+is not captured -- re-running ``construct``/``set_distribution`` after a
+restore is not supported.
+"""
+
+from __future__ import annotations
+
+import pickle
+import zlib
+
+import numpy as np
+
+from repro.chaos.buffers import GhostBuffers
+from repro.chaos.schedule import CommSchedule
+from repro.chaos.ttable import (
+    DistributedTranslationTable,
+    RegularTranslationTable,
+    ReplicatedTranslationTable,
+    build_translation_table,
+)
+from repro.core.dad import DAD
+from repro.core.inspector import InspectorProduct, PatternData
+from repro.core.iteration import IterationPartition
+from repro.core.records import InspectorRecord
+from repro.chaos.localize import LocalizeResult
+from repro.guard.errors import CheckpointError
+from repro.machine.machine import Machine
+from repro.machine.stats import COUNTER_FIELDS, CounterBlock, PhaseRecord
+
+_FORMAT = "repro-checkpoint"
+_VERSION = 1
+
+_TTABLE_VARIANTS = {
+    RegularTranslationTable: "regular",
+    ReplicatedTranslationTable: "replicated",
+    DistributedTranslationTable: "distributed",
+}
+
+
+# ----------------------------------------------------------------------
+# capture
+# ----------------------------------------------------------------------
+def _counters_payload(block: CounterBlock) -> dict:
+    return {name: getattr(block, name).copy() for name in COUNTER_FIELDS}
+
+
+def _machine_payload(machine: Machine) -> dict:
+    phases = []
+    for rec in machine.stats.phases:
+        if rec.arrays is not None:
+            counters = _counters_payload(rec.arrays)
+        else:  # legacy per-proc record: re-pack into arrays form
+            block = CounterBlock(machine.n_procs)
+            for p, s in enumerate(rec.per_proc):
+                for name in COUNTER_FIELDS:
+                    getattr(block, name)[p] = getattr(s, name)
+            counters = _counters_payload(block)
+        phases.append(
+            {"name": rec.name, "elapsed": rec.elapsed, "counters": counters}
+        )
+    return {"counters": _counters_payload(machine.counters), "phases": phases}
+
+
+def _dad_payload(dad: DAD) -> tuple:
+    return (dad.kind, dad.size, dad.signature)
+
+
+def _registry_payload(registry) -> dict:
+    return {
+        "nmod": registry.nmod,
+        "last_mod": dict(registry._last_mod),
+        "events": {
+            sig: [
+                (stamp, None if ranges is None else ranges.copy())
+                for stamp, ranges in events
+            ]
+            for sig, events in registry._events.items()
+        },
+    }
+
+
+def _schedule_payload(sched: CommSchedule) -> dict:
+    return {
+        "dist_signature": sched.dist_signature,
+        "pair_q": sched._pair_q.copy(),
+        "pair_p": sched._pair_p.copy(),
+        "pair_len": sched._pair_len.copy(),
+        "flat_send": sched._flat_send.copy(),
+        "flat_recv": sched._flat_recv.copy(),
+        "ghost_sizes": list(sched.ghost_sizes),
+    }
+
+
+def _product_payload(
+    product: InspectorProduct, schedules: dict, ghosts: dict
+) -> dict:
+    part = product.iteration_partition
+    flat, bounds = part.iters_flat()
+    patterns = []
+    for key, pat in product.patterns.items():
+        sid = id(pat.localized.schedule)
+        if sid not in schedules:
+            schedules[sid] = _schedule_payload(pat.localized.schedule)
+        gid = id(pat.ghosts)
+        if gid not in ghosts:
+            ghosts[gid] = {
+                "schedule": id(pat.ghosts.schedule),
+                "dtype": pat.ghosts.dtype.str,
+                "backing": pat.ghosts.backing.copy(),
+            }
+        loc = pat.localized
+        patterns.append(
+            (
+                key,
+                {
+                    "array": pat.array,
+                    "index": pat.index,
+                    "schedule": sid,
+                    "ghosts": gid,
+                    "local_sizes": np.asarray(loc.local_sizes, dtype=np.int64),
+                    "refs_flat": loc.refs_flat.copy(),
+                    "ref_bounds": loc.ref_bounds.copy(),
+                    "ghost_flat": loc.ghost_flat.copy(),
+                    "ghost_bounds": loc.ghost_bounds.copy(),
+                },
+            )
+        )
+    return {
+        "loop": product.loop.name,
+        "partition": {
+            "n_iterations": part.n_iterations,
+            "method": part.method,
+            "flat": flat.copy(),
+            "bounds": bounds.copy(),
+        },
+        "patterns": patterns,
+        "dist_signatures": dict(product.dist_signatures),
+    }
+
+
+def _adapt_payload(adapt) -> dict:
+    states = {}
+    for name, state in adapt.states.items():
+        groups = []
+        for gkey, g in state.groups.items():
+            groups.append(
+                (
+                    gkey,
+                    {
+                        "array": g.array,
+                        "indexes": g.indexes,
+                        "slot_bounds": g.slot_bounds.copy(),
+                        "keys": g.keys.copy(),
+                        "owners": g.owners.copy(),
+                        "lidx": g.lidx.copy(),
+                        "counts": g.counts.copy(),
+                    },
+                )
+            )
+        states[name] = {
+            "home": state.home.copy(),
+            "snapshots": {k: v.copy() for k, v in state.snapshots.items()},
+            "groups": groups,
+        }
+    return {
+        "max_change_fraction": adapt.max_change_fraction,
+        "max_failures": adapt.max_failures,
+        "states": states,
+        "failures": dict(adapt.failures),
+        "disabled": sorted(adapt.disabled),
+        "fallback_log": [dict(rec) for rec in adapt.fallback_log],
+    }
+
+
+def save_checkpoint(path, program, driver=None) -> None:
+    """Serialize ``program`` (and optionally an AdaptiveExecutor) to ``path``.
+
+    The file is versioned and CRC-protected; :func:`restore_checkpoint`
+    refuses anything damaged or shape-incompatible.  Nothing is charged
+    to the simulated machine.
+    """
+    machine = program.machine
+    schedules: dict[int, dict] = {}
+    ghost_bufs: dict[int, dict] = {}
+    records = {}
+    for name, rec in program.records.items():
+        records[name] = {
+            "data_dads": {k: _dad_payload(d) for k, d in rec.data_dads.items()},
+            "ind_dads": {k: _dad_payload(d) for k, d in rec.ind_dads.items()},
+            "ind_last_mod": dict(rec.ind_last_mod),
+            "product": _product_payload(rec.product, schedules, ghost_bufs),
+        }
+    ttables = []
+    for (aname, sig), tt in program.ttables.items():
+        variant = _TTABLE_VARIANTS.get(type(tt))
+        if variant is not None:
+            ttables.append((aname, sig, variant))
+    payload = {
+        "n_procs": machine.n_procs,
+        "machine": _machine_payload(machine),
+        "arrays": {
+            name: {
+                "signature": arr.distribution.signature(),
+                "dtype": arr.dtype.str,
+                "backing": arr.backing_ro.copy(),
+            }
+            for name, arr in program.arrays.items()
+        },
+        "registry": _registry_payload(program.registry),
+        "program": {
+            "inspector_runs": program.inspector_runs,
+            "reuse_hits": program.reuse_hits,
+            "patch_hits": program.patch_hits,
+            "geocol_reuse_hits": program.geocol_reuse_hits,
+            "indirection_dads": sorted(program._indirection_dads),
+            "guard_events": [dict(e) for e in program.guard_events],
+        },
+        "schedules": schedules,
+        "ghosts": ghost_bufs,
+        "records": records,
+        "ttables": ttables,
+        "adapt": None if program.adapt is None else _adapt_payload(program.adapt),
+        "driver": None if driver is None else {"history": list(driver.history)},
+    }
+    blob = pickle.dumps(payload, protocol=pickle.HIGHEST_PROTOCOL)
+    envelope = {
+        "format": _FORMAT,
+        "version": _VERSION,
+        "crc": zlib.crc32(blob),
+        "payload": blob,
+    }
+    with open(path, "wb") as f:
+        pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+# ----------------------------------------------------------------------
+# load / restore
+# ----------------------------------------------------------------------
+def load_checkpoint(path) -> dict:
+    """Read and validate a checkpoint file; returns the payload dict.
+
+    Raises :class:`CheckpointError` on a damaged or unrecognized file.
+    """
+    try:
+        with open(path, "rb") as f:
+            envelope = pickle.load(f)
+    except (OSError, pickle.UnpicklingError, EOFError, AttributeError) as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != _FORMAT:
+        raise CheckpointError(f"{path} is not a repro checkpoint file")
+    if envelope.get("version") != _VERSION:
+        raise CheckpointError(
+            f"checkpoint version {envelope.get('version')!r} unsupported "
+            f"(expected {_VERSION})"
+        )
+    blob = envelope.get("payload")
+    if not isinstance(blob, bytes) or zlib.crc32(blob) != envelope.get("crc"):
+        raise CheckpointError(f"checkpoint {path} failed its CRC check")
+    return pickle.loads(blob)
+
+
+def _restore_machine(machine: Machine, payload: dict) -> None:
+    for name in COUNTER_FIELDS:
+        getattr(machine.counters, name)[:] = payload["counters"][name]
+    machine.stats.clear()
+    for rec in payload["phases"]:
+        block = CounterBlock(machine.n_procs)
+        for name in COUNTER_FIELDS:
+            getattr(block, name)[:] = rec["counters"][name]
+        machine.stats.add(
+            PhaseRecord(name=rec["name"], elapsed=rec["elapsed"], arrays=block)
+        )
+
+
+def _restore_arrays(program, payload: dict) -> None:
+    # validate everything first: a mismatch must leave the program untouched
+    for name, saved in payload.items():
+        arr = program.arrays.get(name)
+        if arr is None:
+            raise CheckpointError(
+                f"checkpointed array {name!r} does not exist in this program"
+            )
+        if arr.distribution.signature() != saved["signature"]:
+            raise CheckpointError(
+                f"array {name!r} has a different distribution than the "
+                "checkpoint (remap the program identically before resuming)"
+            )
+        if arr.dtype.str != saved["dtype"]:
+            raise CheckpointError(
+                f"array {name!r} has dtype {arr.dtype}, checkpoint has "
+                f"{saved['dtype']}"
+            )
+    for name, saved in payload.items():
+        program.arrays[name].backing_mut()[:] = saved["backing"]
+
+
+def _restore_registry(registry, payload: dict) -> None:
+    registry.nmod = payload["nmod"]
+    registry._last_mod = dict(payload["last_mod"])
+    registry._events = {
+        sig: [
+            (stamp, None if ranges is None else ranges.copy())
+            for stamp, ranges in events
+        ]
+        for sig, events in payload["events"].items()
+    }
+
+
+def _build_dad(t: tuple) -> DAD:
+    return DAD(kind=t[0], size=t[1], signature=t[2])
+
+
+def _restore_products(program, payload: dict, loops: dict) -> dict:
+    """Rebuild records/schedules/ghosts; returns the record dict."""
+    machine = program.machine
+    sched_by_id = {
+        sid: CommSchedule.from_flat(
+            machine,
+            s["dist_signature"],
+            s["pair_q"],
+            s["pair_p"],
+            s["pair_len"],
+            s["flat_send"],
+            s["flat_recv"],
+            s["ghost_sizes"],
+            costs=program.costs,
+        )
+        for sid, s in payload["schedules"].items()
+    }
+    ghosts_by_id = {}
+    for gid, g in payload["ghosts"].items():
+        buf = GhostBuffers(
+            machine,
+            sched_by_id[g["schedule"]],
+            dtype=np.dtype(g["dtype"]),
+            charge=False,
+        )
+        if buf.backing.size != g["backing"].size:
+            raise CheckpointError(
+                "ghost backing size disagrees with its schedule "
+                f"({buf.backing.size} != {g['backing'].size})"
+            )
+        buf.backing[:] = g["backing"]
+        ghosts_by_id[gid] = buf
+    records = {}
+    for name, rec in payload["records"].items():
+        prod = rec["product"]
+        loop = loops.get(prod["loop"])
+        if loop is None:
+            raise CheckpointError(
+                f"checkpoint references loop {prod['loop']!r}; pass it in "
+                "the loops mapping (loops hold callables and are re-bound, "
+                "not serialized)"
+            )
+        part_p = prod["partition"]
+        flat = part_p["flat"]
+        bounds = part_p["bounds"]
+        part = IterationPartition(
+            n_iterations=part_p["n_iterations"],
+            iters=[
+                flat[bounds[p] : bounds[p + 1]] for p in range(bounds.size - 1)
+            ],
+            method=part_p["method"],
+            flat=flat,
+            bounds=bounds,
+        )
+        patterns = {}
+        for key, pat in prod["patterns"]:
+            loc = LocalizeResult(
+                local_sizes=pat["local_sizes"],
+                schedule=sched_by_id[pat["schedule"]],
+                refs_flat=pat["refs_flat"],
+                ref_bounds=pat["ref_bounds"],
+                ghost_flat=pat["ghost_flat"],
+                ghost_bounds=pat["ghost_bounds"],
+            )
+            patterns[key] = PatternData(
+                array=pat["array"],
+                index=pat["index"],
+                localized=loc,
+                ghosts=ghosts_by_id[pat["ghosts"]],
+            )
+        records[name] = InspectorRecord(
+            loop_name=name,
+            data_dads={k: _build_dad(t) for k, t in rec["data_dads"].items()},
+            ind_dads={k: _build_dad(t) for k, t in rec["ind_dads"].items()},
+            ind_last_mod=dict(rec["ind_last_mod"]),
+            product=InspectorProduct(
+                loop=loop,
+                iteration_partition=part,
+                patterns=patterns,
+                dist_signatures=dict(prod["dist_signatures"]),
+            ),
+        )
+    return records
+
+
+def _restore_ttables(program, payload: list) -> None:
+    """Rebuild cached translation tables without re-charging construction.
+
+    Tables are pure functions of (distribution, costs, variant); their
+    build cost was charged before the checkpoint and lives in the
+    restored counters, so the rebuild runs against a scratch machine and
+    only the finished table is bound to the live one.
+    """
+    program.ttables.clear()
+    scratch = Machine(program.machine.n_procs)
+    for aname, sig, variant in payload:
+        arr = program.arrays.get(aname)
+        if arr is None or arr.distribution.signature() != sig:
+            continue  # table for a distribution this program no longer has
+        tt = build_translation_table(
+            scratch, arr.distribution, program.costs, variant
+        )
+        tt.machine = program.machine
+        program.ttables[(aname, sig)] = tt
+
+
+def _restore_adapt(adapt, payload: dict) -> None:
+    from repro.adapt.state import GroupState, LoopAdaptState
+
+    adapt.max_change_fraction = payload["max_change_fraction"]
+    adapt.max_failures = payload["max_failures"]
+    adapt.states = {
+        name: LoopAdaptState(
+            home=s["home"],
+            snapshots=dict(s["snapshots"]),
+            groups={gkey: GroupState(**g) for gkey, g in s["groups"]},
+        )
+        for name, s in payload["states"].items()
+    }
+    adapt.failures = dict(payload["failures"])
+    adapt.disabled = set(payload["disabled"])
+    adapt.fallback_log = [dict(rec) for rec in payload["fallback_log"]]
+    adapt.last_patch = None
+    adapt.last_error = None
+
+
+def restore_checkpoint(path, program, loops, driver=None) -> dict:
+    """Restore ``program`` (and optionally a driver) from a checkpoint.
+
+    ``program`` must be freshly constructed with the same shape as the
+    checkpointed one -- same machine size, same declared arrays with the
+    same distributions; ``loops`` maps loop name to the live
+    :class:`~repro.core.forall.ForallLoop` objects of the campaign.
+    After restoring, continuing the campaign produces simulated numbers
+    bit-identical to a run that never stopped.  Returns the raw payload
+    (for introspection).
+    """
+    payload = load_checkpoint(path)
+    if payload["n_procs"] != program.machine.n_procs:
+        raise CheckpointError(
+            f"checkpoint is for {payload['n_procs']} processors, program "
+            f"machine has {program.machine.n_procs}"
+        )
+    # validate arrays before mutating anything: a shape mismatch must
+    # leave the program untouched
+    _restore_arrays(program, payload["arrays"])
+    _restore_machine(program.machine, payload["machine"])
+    _restore_registry(program.registry, payload["registry"])
+    prog_p = payload["program"]
+    program.inspector_runs = prog_p["inspector_runs"]
+    program.reuse_hits = prog_p["reuse_hits"]
+    program.patch_hits = prog_p["patch_hits"]
+    program.geocol_reuse_hits = prog_p["geocol_reuse_hits"]
+    program._indirection_dads = set(prog_p["indirection_dads"])
+    program.guard_events[:] = [dict(e) for e in prog_p["guard_events"]]
+    program.records = _restore_products(program, payload, loops)
+    _restore_ttables(program, payload["ttables"])
+    if payload["adapt"] is not None:
+        if program.adapt is None:
+            raise CheckpointError(
+                "checkpoint carries incremental-inspection state; construct "
+                "the program with incremental=True before resuming"
+            )
+        _restore_adapt(program.adapt, payload["adapt"])
+    elif program.adapt is not None:
+        program.adapt.states.clear()
+    if driver is not None and payload["driver"] is not None:
+        driver.history = list(payload["driver"]["history"])
+    return payload

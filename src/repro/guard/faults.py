@@ -1,0 +1,240 @@
+"""Deterministic fault injection for the inspector/executor pipeline.
+
+A :class:`FaultPlan` is a seeded script of faults to inject at the
+runtime's three natural hook points:
+
+* **gather wire** (``CommSchedule._move_gather``): corrupt one element
+  of an exchanged chunk, drop elements (the requester keeps stale ghost
+  values), or duplicate one element over another -- the classic
+  lost/garbled/replayed-message triad;
+* **patched product** (``IncrementalInspector`` post-patch): swap two
+  recv slots within one schedule pair, breaking the slot map exactly the
+  way out-of-sync incremental bookkeeping would;
+* **phase boundary** (``Machine.phase``): stall one processor's clock on
+  phase entry or exit, modeling a straggler.
+
+Everything is driven by an explicit seed, so a given plan injects the
+same faults at the same events on every run -- recovery tests are
+reproducible bit for bit.  Faults are *simulation-only*: they perturb
+moved data (or, for ``stall``, one clock -- the only fault whose point
+is time), never the charged communication volume, so the cost model
+stays truthful about what the fault-free run would have charged.
+
+Install with ``plan.install(machine)`` (sets ``machine.faults``); every
+injected fault appends a record to ``plan.fired`` so tests can assert
+the fault actually happened and was subsequently detected.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+import numpy as np
+
+
+@contextmanager
+def suspended(machine):
+    """Temporarily disable fault injection on ``machine``.
+
+    Recovery paths (e.g. the executor's re-gather after a detected
+    divergence) run under this so the repair itself is not re-faulted
+    and the plan's event counters do not drift.
+    """
+    saved, machine.faults = machine.faults, None
+    try:
+        yield
+    finally:
+        machine.faults = saved
+
+
+class FaultPlan:
+    """A seeded, scripted set of faults to inject into one run.
+
+    Fault registration methods return ``self`` so plans chain::
+
+        plan = FaultPlan(seed=7).corrupt_gather(nth=0).stall("executor", proc=2)
+        plan.install(machine)
+
+    ``nth`` counts events of the hook's kind: non-empty gathers for the
+    wire faults, successful incremental patches for ``flip_slots``, and
+    matching phase enters/exits for ``stall``.  Each registered fault
+    fires exactly once.
+    """
+
+    def __init__(self, seed: int = 0):
+        self.rng = np.random.default_rng(seed)
+        self.fired: list[dict] = []
+        self._specs: list[dict] = []
+        self._gathers = 0
+        self._patches = 0
+        self._phases: dict[tuple[str, str], int] = {}
+
+    # ------------------------------------------------------------------
+    # registration
+    # ------------------------------------------------------------------
+    def corrupt_gather(self, nth: int = 0) -> "FaultPlan":
+        """Corrupt one element of the ``nth`` non-empty gather's wire data."""
+        self._specs.append({"kind": "corrupt_gather", "nth": int(nth), "done": False})
+        return self
+
+    def drop_gather(self, nth: int = 0, count: int = 1) -> "FaultPlan":
+        """Drop ``count`` elements of the ``nth`` non-empty gather: the
+        requesters keep whatever stale values their ghost slots held."""
+        self._specs.append(
+            {"kind": "drop_gather", "nth": int(nth), "count": int(count), "done": False}
+        )
+        return self
+
+    def duplicate_gather(self, nth: int = 0) -> "FaultPlan":
+        """Overwrite one wire element of the ``nth`` non-empty gather with
+        a neighboring element (a replayed/misrouted chunk)."""
+        self._specs.append({"kind": "duplicate_gather", "nth": int(nth), "done": False})
+        return self
+
+    def flip_slots(self, nth: int = 0) -> "FaultPlan":
+        """Swap two recv slots within one pair of the ``nth`` patched
+        schedule, desynchronizing it from the saved slot bookkeeping."""
+        self._specs.append({"kind": "flip_slots", "nth": int(nth), "done": False})
+        return self
+
+    def stall(
+        self,
+        phase: str,
+        proc: int = 0,
+        seconds: float = 1.0,
+        when: str = "enter",
+        nth: int = 0,
+    ) -> "FaultPlan":
+        """Advance ``proc``'s clock by ``seconds`` at the ``nth``
+        ``when``-boundary (``"enter"``/``"exit"``) of phases named ``phase``."""
+        if when not in ("enter", "exit"):
+            raise ValueError(f"when must be 'enter' or 'exit', got {when!r}")
+        self._specs.append(
+            {
+                "kind": "stall",
+                "phase": str(phase),
+                "proc": int(proc),
+                "seconds": float(seconds),
+                "when": when,
+                "nth": int(nth),
+                "done": False,
+            }
+        )
+        return self
+
+    def install(self, machine) -> "FaultPlan":
+        """Attach this plan to ``machine`` (its hooks start firing)."""
+        machine.faults = self
+        return self
+
+    # ------------------------------------------------------------------
+    # hooks (called by the runtime; not part of the public API)
+    # ------------------------------------------------------------------
+    def on_gather_wire(self, wire: np.ndarray):
+        """Perturb one gather's wire data.  Returns ``(wire, keep_mask)``;
+        ``keep_mask`` is ``None`` unless elements were dropped."""
+        if not wire.size:
+            return wire, None
+        event = self._gathers
+        self._gathers += 1
+        keep = None
+        for spec in self._specs:
+            if spec["done"] or spec["nth"] != event:
+                continue
+            kind = spec["kind"]
+            if kind == "corrupt_gather":
+                wire = wire.copy()
+                i = int(self.rng.integers(wire.size))
+                wire[i] += 1
+                spec["done"] = True
+                self.fired.append({"kind": kind, "gather": event, "element": i})
+            elif kind == "drop_gather":
+                k = min(spec["count"], wire.size)
+                drop = self.rng.choice(wire.size, size=k, replace=False)
+                keep = np.ones(wire.size, dtype=bool)
+                keep[drop] = False
+                spec["done"] = True
+                self.fired.append(
+                    {"kind": kind, "gather": event, "elements": sorted(int(d) for d in drop)}
+                )
+            elif kind == "duplicate_gather":
+                if wire.size < 2:
+                    continue
+                wire = wire.copy()
+                i = int(self.rng.integers(wire.size))
+                j = (i + 1) % wire.size
+                wire[j] = wire[i]
+                spec["done"] = True
+                self.fired.append({"kind": kind, "gather": event, "element": j})
+        return wire, keep
+
+    def on_patched_product(self, product) -> bool:
+        """Possibly desynchronize one schedule of a freshly patched
+        product.  Returns True when a fault was injected."""
+        event = self._patches
+        self._patches += 1
+        hit = False
+        for spec in self._specs:
+            if spec["done"] or spec["kind"] != "flip_slots" or spec["nth"] != event:
+                continue
+            for pat in product.patterns.values():
+                if self._flip_schedule(pat.localized.schedule):
+                    spec["done"] = True
+                    hit = True
+                    self.fired.append(
+                        {"kind": "flip_slots", "patch": event, "array": pat.array}
+                    )
+                    break
+        return hit
+
+    @staticmethod
+    def _flip_schedule(sched) -> bool:
+        """Swap the first two recv slots of the first multi-element pair."""
+        plen = sched._pair_len
+        cand = np.flatnonzero(plen >= 2)
+        if not cand.size:
+            return False
+        start = int(np.concatenate(([0], np.cumsum(plen)))[cand[0]])
+        recv = sched._flat_recv.copy()
+        recv[start], recv[start + 1] = recv[start + 1], recv[start]
+        sched._send_dict = None
+        sched._recv_dict = None
+        sched._init_flat(
+            sched._pair_q, sched._pair_p, sched._pair_len, sched._flat_send, recv
+        )
+        return True
+
+    def on_phase(self, machine, name: str, when: str) -> None:
+        """Stall scripted processors at a phase boundary."""
+        key = (name, when)
+        event = self._phases.get(key, 0)
+        self._phases[key] = event + 1
+        for spec in self._specs:
+            if (
+                spec["done"]
+                or spec["kind"] != "stall"
+                or spec["phase"] != name
+                or spec["when"] != when
+                or spec["nth"] != event
+            ):
+                continue
+            machine.counters.clock[spec["proc"]] += spec["seconds"]
+            spec["done"] = True
+            self.fired.append(
+                {
+                    "kind": "stall",
+                    "phase": name,
+                    "when": when,
+                    "proc": spec["proc"],
+                    "seconds": spec["seconds"],
+                }
+            )
+
+    def pending(self) -> list[dict]:
+        """Registered faults that have not fired yet."""
+        return [dict(s) for s in self._specs if not s["done"]]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"FaultPlan(registered={len(self._specs)}, fired={len(self.fired)})"
+        )

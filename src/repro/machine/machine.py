@@ -82,6 +82,8 @@ class Machine:
         self.procs = [Processor(p, self.counters) for p in range(self.n_procs)]
         self.stats = MachineStats(counters=self.counters)
         self._phase_depth = 0
+        #: optional repro.guard.faults.FaultPlan; hooks fire when set
+        self.faults = None
 
     # ------------------------------------------------------------------
     # clock primitives
@@ -272,16 +274,23 @@ class Machine:
         """Named loosely synchronous region; records a PhaseRecord.
 
         The region begins and ends with a barrier; ``elapsed`` is the
-        wall time between them on the synchronized machine clock.
+        wall time between them on the synchronized machine clock.  An
+        installed :class:`~repro.guard.faults.FaultPlan` gets to stall
+        processors just inside the opening barrier and just before the
+        closing one, so injected straggler time lands inside the phase.
         """
         self.barrier()
         start = self.elapsed()
         before = self.counters.copy()
         self._phase_depth += 1
+        if self.faults is not None:
+            self.faults.on_phase(self, name, "enter")
         try:
             yield
         finally:
             self._phase_depth -= 1
+            if self.faults is not None:
+                self.faults.on_phase(self, name, "exit")
             self.barrier()
             end = self.elapsed()
             self.stats.add(

@@ -1,0 +1,95 @@
+"""`max_change_fraction` boundary: exactly-at-threshold still patches.
+
+The routing comparison in :meth:`IncrementalInspector.attempt` is
+``n_changed > max_change_fraction * n_tracked`` -- strictly greater.
+These tests pin the fraction so the threshold falls on an integer count
+of changed edges and probe one-below, exactly-at, and one-above.
+"""
+
+import numpy as np
+import pytest
+
+from repro.machine import Machine
+from repro.workloads import generate_mesh
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+
+N_PROCS = 4
+THRESHOLD_COUNT = 16  # max_change_fraction is set to THRESHOLD_COUNT/n_edges
+
+
+def build():
+    mesh = generate_mesh(300, seed=4)
+    machine = Machine(N_PROCS)
+    prog = setup_euler_program(machine, mesh, seed=11, incremental=True)
+    prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
+    prog.set_distribution("fmt", "G", "RCB")
+    prog.redistribute("reg", "fmt")
+    loop = euler_edge_loop(mesh)
+    prog.forall(loop, n_times=1)
+    # end_pt1 and end_pt2 share a DAD (same kind/size/distribution), so
+    # mutating end_pt2 stales both and the diff tracks 2*n_edges values;
+    # pin the fraction so the threshold falls exactly on THRESHOLD_COUNT
+    prog.adapt.max_change_fraction = THRESHOLD_COUNT / (2 * mesh.n_edges)
+    return mesh, prog, loop
+
+
+def mutate_exactly(prog, mesh, n_changed):
+    """Re-target exactly ``n_changed`` edges, each to a genuinely
+    different (and valid) node index."""
+    pick = np.arange(n_changed, dtype=np.int64)
+    old = np.asarray(prog.arrays["end_pt2"].global_view(), dtype=np.int64)[pick]
+    new = (old + 1) % mesh.n_nodes
+    assert (new != old).all()
+    prog.set_array_elements("end_pt2", pick, new)
+
+
+@pytest.mark.parametrize(
+    "n_changed, expect_patch",
+    [
+        (THRESHOLD_COUNT - 1, True),  # under: patch
+        (THRESHOLD_COUNT, True),  # exactly at threshold: strict >, patch
+        (THRESHOLD_COUNT + 1, False),  # over: full re-inspection
+    ],
+    ids=["one-under", "exactly-at", "one-over"],
+)
+def test_threshold_boundary(n_changed, expect_patch):
+    mesh, prog, loop = build()
+    runs_before, hits_before = prog.inspector_runs, prog.patch_hits
+    mutate_exactly(prog, mesh, n_changed)
+    prog.forall(loop, n_times=1)
+    if expect_patch:
+        assert prog.patch_hits == hits_before + 1
+        assert prog.inspector_runs == runs_before
+        assert not prog.adapt.fallback_log
+    else:
+        assert prog.patch_hits == hits_before
+        assert prog.inspector_runs == runs_before + 1
+        (rec,) = prog.adapt.fallback_log
+        assert rec["reason"] == "over_threshold"
+        assert rec["n_changed"] == n_changed
+        assert rec["n_tracked"] == 2 * mesh.n_edges
+
+
+def test_rewrite_without_change_does_not_count():
+    """Only *value* changes count toward the threshold: rewriting the
+    whole dirty window with identical values patches trivially."""
+    mesh, prog, loop = build()
+    vals = np.asarray(prog.arrays["end_pt2"].global_view(), dtype=np.int64)
+    prog.set_array_elements(
+        "end_pt2", np.arange(mesh.n_edges, dtype=np.int64), vals.copy()
+    )
+    prog.forall(loop, n_times=1)
+    assert prog.patch_hits == 1
+    assert not prog.adapt.fallback_log
+
+
+def test_max_change_fraction_validation():
+    from repro.adapt.driver import IncrementalInspector
+
+    for bad in (0.0, -0.1, 1.5):
+        with pytest.raises(ValueError, match="max_change_fraction"):
+            IncrementalInspector(None, max_change_fraction=bad)
+    with pytest.raises(ValueError, match="max_failures"):
+        IncrementalInspector(None, max_failures=0)
+    # 1.0 is inclusive: "never fall back on churn alone"
+    assert IncrementalInspector(None, max_change_fraction=1.0)

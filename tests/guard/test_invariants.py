@@ -1,0 +1,208 @@
+"""Invariant checkers: pass on healthy products, catch seeded corruption."""
+
+import numpy as np
+import pytest
+
+from repro.guard import (
+    InvariantViolation,
+    check_level,
+    content_checksum,
+    gather_divergence,
+    verify_adapt_state,
+    verify_ghosts,
+    verify_partition,
+    verify_product,
+    verify_schedule,
+)
+from repro.machine import Machine
+from repro.workloads import generate_mesh
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+
+
+def build(n_procs=4, incremental=True, coalesce=True, **kwargs):
+    mesh = generate_mesh(300, seed=4)
+    machine = Machine(n_procs)
+    prog = setup_euler_program(
+        machine,
+        mesh,
+        seed=11,
+        incremental=incremental,
+        coalesce_patterns=coalesce,
+        **kwargs,
+    )
+    prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
+    prog.set_distribution("fmt", "G", "RCB")
+    prog.redistribute("reg", "fmt")
+    loop = euler_edge_loop(mesh)
+    return mesh, machine, prog, loop
+
+
+def inspected(**kwargs):
+    mesh, machine, prog, loop = build(**kwargs)
+    prog.forall(loop, n_times=1)
+    return mesh, prog, loop, prog.records[loop.name].product
+
+
+class TestLevels:
+    def test_valid_levels(self):
+        for level in ("off", "cheap", "full"):
+            assert check_level(level) == level
+
+    def test_invalid_level(self):
+        with pytest.raises(ValueError, match="guard level"):
+            check_level("paranoid")
+
+    def test_program_env_default(self, monkeypatch):
+        from repro.core.program import IrregularProgram
+
+        monkeypatch.setenv("REPRO_GUARD", "cheap")
+        assert IrregularProgram(Machine(2)).guard == "cheap"
+        monkeypatch.delenv("REPRO_GUARD")
+        assert IrregularProgram(Machine(2)).guard == "off"
+        assert IrregularProgram(Machine(2), guard="full").guard == "full"
+        with pytest.raises(ValueError, match="guard level"):
+            IrregularProgram(Machine(2), guard="nope")
+
+
+class TestHealthyProducts:
+    @pytest.mark.parametrize("coalesce", [True, False])
+    def test_fresh_product_passes_full(self, coalesce):
+        mesh, prog, loop, product = inspected(coalesce=coalesce)
+        verify_product(product, prog.arrays, "full")
+        verify_adapt_state(
+            product, prog.adapt.states[loop.name], prog.arrays, "full"
+        )
+
+    def test_patched_product_passes_full(self):
+        mesh, prog, loop, product = inspected()
+        rng = np.random.default_rng(0)
+        edges = mesh.edges.copy()
+        pick = np.sort(rng.choice(mesh.n_edges, size=20, replace=False))
+        edges[1, pick] = (edges[0, pick] + 1 + rng.integers(
+            0, mesh.n_nodes - 1, pick.size
+        )) % mesh.n_nodes
+        prog.set_array_elements("end_pt2", pick, edges[1, pick])
+        prog.forall(loop, n_times=1)
+        assert prog.patch_hits == 1
+        product = prog.records[loop.name].product
+        verify_product(
+            product, prog.arrays, "full", state=prog.adapt.states[loop.name]
+        )
+
+    def test_off_level_skips_everything(self):
+        # an obviously broken object passes at level off (never inspected)
+        verify_schedule(object(), "off")
+        verify_ghosts(object(), level="off")
+        verify_partition(object(), level="off")
+        verify_product(object(), {}, "off")
+
+
+class TestCorruptionDetected:
+    def test_recv_slot_out_of_range(self):
+        _, prog, _, product = inspected()
+        pat = next(iter(product.patterns.values()))
+        sched = pat.localized.schedule
+        if not sched._flat_recv.size:
+            pytest.skip("no ghosts on this configuration")
+        # in-place corruption: construction-time validation can't see it
+        sched._flat_recv[0] = max(sched.ghost_sizes) + 5
+        with pytest.raises(InvariantViolation, match="recv slot"):
+            verify_schedule(sched, "cheap")
+
+    def test_non_canonical_pair_order(self):
+        _, prog, _, product = inspected()
+        pat = next(iter(product.patterns.values()))
+        sched = pat.localized.schedule
+        if sched._pair_q.size < 2:
+            pytest.skip("needs at least two pairs")
+        perm = np.arange(sched._pair_q.size)[::-1].copy()
+        starts = np.concatenate(([0], np.cumsum(sched._pair_len)))
+        order = np.concatenate(
+            [np.arange(starts[i], starts[i + 1]) for i in perm]
+        )
+        sched._init_flat(
+            sched._pair_q[perm],
+            sched._pair_p[perm],
+            sched._pair_len[perm],
+            sched._flat_send[order],
+            sched._flat_recv[order],
+        )
+        with pytest.raises(InvariantViolation, match="pair order"):
+            verify_schedule(sched, "cheap", canonical=True)
+        verify_schedule(sched, "cheap", canonical=False)
+
+    def test_ghost_backing_size_mismatch(self):
+        _, prog, _, product = inspected()
+        pat = next(
+            p for p in product.patterns.values() if p.ghosts.backing.size
+        )
+        pat.ghosts.backing = pat.ghosts.backing[:-1]
+        with pytest.raises(InvariantViolation, match="backing"):
+            verify_ghosts(pat.ghosts, pat.localized.schedule, "cheap")
+
+    def test_partition_lost_iteration(self):
+        _, prog, _, product = inspected()
+        part = product.iteration_partition
+        flat, _ = part.iters_flat()
+        flat[0] = flat[1]  # duplicate one iteration, lose another
+        verify_partition(part, level="cheap")  # structure still fine
+        with pytest.raises(InvariantViolation, match="permutation"):
+            verify_partition(part, level="full")
+
+    def test_stale_distribution_signature(self):
+        _, prog, loop, product = inspected()
+        prog.redistribute("reg", "block")
+        with pytest.raises(InvariantViolation, match="redistributed"):
+            verify_product(product, prog.arrays, "cheap")
+
+    def test_flipped_slots_caught_by_state_check(self):
+        from repro.guard.faults import FaultPlan
+
+        _, prog, loop, product = inspected()
+        state = prog.adapt.states[loop.name]
+        pat = next(iter(product.patterns.values()))
+        assert FaultPlan._flip_schedule(pat.localized.schedule)
+        with pytest.raises(InvariantViolation, match="slot map"):
+            verify_adapt_state(product, state, prog.arrays, "cheap")
+
+    def test_drifted_reference_counts_full_only(self):
+        _, prog, loop, product = inspected()
+        state = prog.adapt.states[loop.name]
+        gstate = next(
+            g for g in state.groups.values() if (g.counts > 0).any()
+        )
+        live = np.flatnonzero(gstate.counts > 0)
+        gstate.counts[live[0]] += 1
+        verify_adapt_state(product, state, prog.arrays, "cheap")
+        with pytest.raises(InvariantViolation, match="counts drifted"):
+            verify_adapt_state(product, state, prog.arrays, "full")
+
+
+class TestContentChecks:
+    def test_gather_divergence_detects_corruption(self):
+        _, prog, _, product = inspected()
+        key = next(k for k in product.patterns if k[0] == "x")
+        pat = product.patterns[key]
+        arr = prog.arrays["x"]
+        assert gather_divergence(pat, arr).size == 0
+        keys = np.asarray(pat.localized.ghost_flat)
+        live = np.flatnonzero(keys >= 0)
+        if not live.size:
+            pytest.skip("no ghosts on this configuration")
+        pat.ghosts.backing[live[0]] += 1.0
+        bad = gather_divergence(pat, arr)
+        assert np.array_equal(bad, live[:1])
+
+    def test_content_checksum_cached_on_version(self):
+        machine = Machine(2)
+        from repro.distribution import BlockDistribution, DistArray
+
+        arr = DistArray.from_global(
+            machine, BlockDistribution(8, 2), np.arange(8.0)
+        )
+        c0 = content_checksum(arr)
+        assert content_checksum(arr) == c0  # cache hit, same content
+        arr.global_set(np.array([3]), np.array([99.0]))
+        c1 = content_checksum(arr)
+        assert c1 != c0
+        assert content_checksum(np.arange(8.0)) == c0  # raw ndarray path

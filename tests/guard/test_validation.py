@@ -1,0 +1,105 @@
+"""Input validation at the program boundary and the timestamp registry.
+
+Malformed updates must be rejected *before* any state is mutated -- a
+bad write that half-lands would silently poison the incremental
+inspector's dirty-region bookkeeping.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.dad import DAD
+from repro.core.timestamps import (
+    ModificationRegistry,
+    normalize_ranges,
+    ranges_from_positions,
+)
+from repro.machine import Machine
+from repro.workloads import generate_mesh
+from repro.workloads.euler import setup_euler_program
+
+
+@pytest.fixture()
+def prog():
+    mesh = generate_mesh(120, seed=2)
+    return setup_euler_program(Machine(2), mesh, seed=5)
+
+
+class TestSetArrayElements:
+    def test_empty_update_rejected(self, prog):
+        with pytest.raises(ValueError, match="empty update"):
+            prog.set_array_elements("end_pt2", np.array([], dtype=np.int64), [])
+
+    def test_float_positions_rejected(self, prog):
+        with pytest.raises(ValueError, match="must be integers"):
+            prog.set_array_elements("end_pt2", np.array([1.0, 2.0]), [3, 4])
+
+    def test_2d_positions_rejected(self, prog):
+        with pytest.raises(ValueError, match="must be 1-D"):
+            prog.set_array_elements("end_pt2", np.array([[1, 2]]), [[3, 4]])
+
+    def test_shape_mismatch_rejected(self, prog):
+        with pytest.raises(ValueError, match="shape"):
+            prog.set_array_elements("end_pt2", np.array([1, 2]), [3])
+
+    def test_out_of_range_rejected(self, prog):
+        size = prog.arrays["end_pt2"].size
+        with pytest.raises(ValueError, match="out of range"):
+            prog.set_array_elements("end_pt2", np.array([size]), [0])
+        with pytest.raises(ValueError, match="out of range"):
+            prog.set_array_elements("end_pt2", np.array([-1]), [0])
+
+    def test_unsafe_cast_rejected(self, prog):
+        with pytest.raises(ValueError, match="cannot safely write"):
+            prog.set_array_elements("end_pt2", np.array([1]), np.array([2.5]))
+
+    def test_rejected_update_mutates_nothing(self, prog):
+        before = prog.arrays["end_pt2"].to_global().copy()
+        nmod = prog.registry.nmod
+        with pytest.raises(ValueError):
+            prog.set_array_elements("end_pt2", np.array([1, 2]), [3])
+        assert np.array_equal(prog.arrays["end_pt2"].to_global(), before)
+        assert prog.registry.nmod == nmod
+
+
+class TestTimestampValidation:
+    def test_normalize_ranges_rejects_floats(self):
+        with pytest.raises(ValueError, match="integer"):
+            normalize_ranges(np.array([[0.0, 2.0]]))
+
+    def test_normalize_ranges_rejects_bad_shape(self):
+        with pytest.raises(ValueError, match="shape"):
+            normalize_ranges(np.array([0, 2, 4]))
+
+    def test_normalize_ranges_rejects_inverted(self):
+        with pytest.raises(ValueError, match="lo <= hi"):
+            normalize_ranges(np.array([[4, 2]]))
+
+    def test_normalize_ranges_rejects_oversize(self):
+        with pytest.raises(ValueError, match="exceeds array size"):
+            normalize_ranges(np.array([[0, 10]]), size=8)
+
+    def test_ranges_from_positions_rejects_floats(self):
+        with pytest.raises(ValueError, match="integers"):
+            ranges_from_positions(np.array([1.5]))
+
+    def test_ranges_from_positions_rejects_negative(self):
+        with pytest.raises(ValueError, match="non-negative"):
+            ranges_from_positions(np.array([-3]))
+
+    def test_record_block_write_rejects_non_dad(self):
+        reg = ModificationRegistry()
+        with pytest.raises(ValueError, match="DAD instances"):
+            reg.record_block_write(["not-a-dad"])
+
+    def test_record_block_write_rejects_misaligned_regions(self):
+        reg = ModificationRegistry()
+        dad = DAD(kind="block", size=8, signature=("block", 8, 2))
+        with pytest.raises(ValueError, match="region entries"):
+            reg.record_block_write([dad], regions=[])
+
+    def test_dirty_ranges_rejects_negative_since(self):
+        reg = ModificationRegistry()
+        dad = DAD(kind="block", size=8, signature=("block", 8, 2))
+        with pytest.raises(ValueError, match="since"):
+            reg.dirty_ranges(dad, since=-1)
