@@ -40,8 +40,21 @@ FRACTIONS = [0.01, 0.05, 0.25]
 EPOCHS = 3  # adaptations per run (plus the initial inspection)
 SWEEPS_PER_EPOCH = 2
 
-TINY_NODES = 1200
+#: smoke scale: small enough for a ~2s CI run, large enough that the
+#: patch-vs-full wall gap clears single-run host-clock noise (at 1200
+#: nodes the ~6ms walls flip order between runs; at 6000 the patch/full
+#: ratio at 1% churn sits stably near 0.5)
+TINY_NODES = 6000
 TINY_PROCS = [16]
+
+#: invariant-checking level the bench runs under -- recorded in the
+#: JSON so wall numbers are only ever compared like-for-like (guard
+#: checks are host-level: free in simulated time, not on the wall)
+GUARD_LEVEL = "cheap"
+#: tag of the patching implementation that produced the numbers; bump
+#: when the patch path's wall profile changes so cross-run comparisons
+#: of wall fields stay apples-to-apples
+IMPLEMENTATION = "inplace-csr-merge+twin-dedup"
 
 
 def _build_program(mesh, n_procs, incremental):
@@ -52,7 +65,7 @@ def _build_program(mesh, n_procs, incremental):
     # cheap invariant checking rides along in the bench path: guard
     # checks are host-level, so simulated numbers are unaffected
     prog = setup_euler_program(
-        machine, mesh, seed=0, incremental=incremental, guard="cheap"
+        machine, mesh, seed=0, incremental=incremental, guard=GUARD_LEVEL
     )
     prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"])
     prog.set_distribution("fmt", "G", "RCB")
@@ -100,21 +113,22 @@ def run_adapt_bench(
                 mesh, schedule, n_procs, True, epochs, sweeps
             )
             # adaptation-step costs: skip the initial inspection (step 0)
-            adapt_fulls = [
-                r["inspector_time"]
-                for r in drv_r.history[1:]
-                if r["mode"] == "full"
-            ]
-            patches = [
-                r["inspector_time"] for r in drv_i.history if r["mode"] == "patch"
-            ]
-            if len(adapt_fulls) != epochs or len(patches) != epochs:
+            full_steps = [r for r in drv_r.history[1:] if r["mode"] == "full"]
+            patch_steps = [r for r in drv_i.history if r["mode"] == "patch"]
+            if len(full_steps) != epochs or len(patch_steps) != epochs:
                 raise RuntimeError(
-                    f"unexpected step modes: {len(adapt_fulls)} full "
-                    f"re-inspections, {len(patches)} patches (want {epochs})"
+                    f"unexpected step modes: {len(full_steps)} full "
+                    f"re-inspections, {len(patch_steps)} patches (want {epochs})"
                 )
+            adapt_fulls = [r["inspector_time"] for r in full_steps]
+            patches = [r["inspector_time"] for r in patch_steps]
             full_per_adapt = sum(adapt_fulls) / len(adapt_fulls)
             patch_per_adapt = sum(patches) / len(patches)
+            # host wall per adaptation step: the simulated machine wins
+            # above are only honest if patching is also cheaper *for the
+            # host running the simulation* -- these two fields gate that
+            full_wall = sum(r["inspect_wall_seconds"] for r in full_steps) / epochs
+            patch_wall = sum(r["inspect_wall_seconds"] for r in patch_steps) / epochs
             runs.append(
                 {
                     "n_procs": n_procs,
@@ -124,6 +138,9 @@ def run_adapt_bench(
                     "full_inspect_per_adapt": full_per_adapt,
                     "patch_per_adapt": patch_per_adapt,
                     "speedup": full_per_adapt / patch_per_adapt,
+                    "full_wall_per_adapt": round(full_wall, 6),
+                    "patch_wall_per_adapt": round(patch_wall, 6),
+                    "wall_speedup": round(full_wall / patch_wall, 3),
                     "inspector_total_reuse": drv_r.inspector_time(),
                     "inspector_total_incremental": drv_i.inspector_time(),
                     "patch_hits": prog_i.patch_hits,
@@ -135,7 +152,8 @@ def run_adapt_bench(
             print(
                 f"  P={n_procs:>4} frac={fraction:>5.0%}  "
                 f"full={full_per_adapt:.4f}s  patch={patch_per_adapt:.4f}s  "
-                f"speedup={full_per_adapt / patch_per_adapt:5.1f}x"
+                f"speedup={full_per_adapt / patch_per_adapt:5.1f}x  "
+                f"wall {full_wall * 1e3:.1f}ms vs {patch_wall * 1e3:.1f}ms"
             )
     return {
         "scenario": "adaptive_euler_refinement",
@@ -143,6 +161,8 @@ def run_adapt_bench(
         "epochs": epochs,
         "sweeps_per_epoch": sweeps,
         "partitioner": "RCB",
+        "guard": GUARD_LEVEL,
+        "implementation": IMPLEMENTATION,
         "runs": runs,
     }
 
@@ -165,6 +185,46 @@ def _check_speedups(record, threshold=2.0, max_fraction=0.05):
             )
 
 
+def _check_walls(record):
+    """Wall-proportionality gate: patching must be cheaper *on the host
+    clock* too, not just for the simulated machine.
+
+    Hard-fails when a patch costs as much host wall as a full
+    re-inspection at the smallest churn fraction measured -- the exact
+    regression this gate exists for.  When the patch/full wall ratio
+    fails to shrink as churn shrinks (it should: patch wall is
+    delta-proportional, full-inspect wall is churn-independent), emits a
+    GitHub ``::warning::`` annotation rather than failing: single-run
+    wall times at small scale are noisy enough for inversions without a
+    real regression behind them.
+    """
+    by_procs: dict[int, list[dict]] = {}
+    for run in record["runs"]:
+        by_procs.setdefault(run["n_procs"], []).append(run)
+    smallest = min(run["fraction"] for run in record["runs"])
+    for n_procs, rs in by_procs.items():
+        rs.sort(key=lambda r: r["fraction"])
+        for run in rs:
+            if run["fraction"] == smallest:
+                assert run["patch_wall_per_adapt"] < run["full_wall_per_adapt"], (
+                    f"P={n_procs} fraction={run['fraction']}: patch wall "
+                    f"{run['patch_wall_per_adapt']:.4f}s >= full "
+                    f"re-inspection wall {run['full_wall_per_adapt']:.4f}s"
+                )
+        ratios = [
+            r["patch_wall_per_adapt"] / r["full_wall_per_adapt"] for r in rs
+        ]
+        if any(lo > hi for lo, hi in zip(ratios, ratios[1:])):
+            print(
+                f"::warning::adapt bench P={n_procs}: patch/full wall "
+                f"ratio not monotone in churn: "
+                + ", ".join(
+                    f"{r['fraction']:.0%}={ratio:.2f}"
+                    for r, ratio in zip(rs, ratios)
+                )
+            )
+
+
 def test_adapt_bench():
     tiny = os.environ.get("REPRO_ADAPT_TINY", "") not in ("", "0")
     record = run_adapt_bench(
@@ -174,6 +234,7 @@ def test_adapt_bench():
     path = write_report(record)
     print(f"\n[adapt bench written to {path}]")
     _check_speedups(record)
+    _check_walls(record)
 
 
 def _parse_args(argv=None):
@@ -202,3 +263,4 @@ if __name__ == "__main__":
     print(json.dumps(record, indent=2))
     print(f"[written to {path}]")
     _check_speedups(record)
+    _check_walls(record)

@@ -42,6 +42,40 @@ unchanged, which conditions 1-2 guarantee), and the live reference count
 (``counts``; 0 marks a hole).  A patched
 :class:`~repro.chaos.localize.LocalizeResult` stores the full slot-space
 ``ghost_flat`` with holes marked ``-1``.
+
+Wall-time contract (host clock, not simulated time)
+---------------------------------------------------
+Patching must be cheaper than full re-inspection *for the machine
+running the simulation* too, at every churn fraction the adaptive bench
+measures -- otherwise "incremental" only relabels work.  Everything on
+the patch path is therefore delta-proportional:
+
+* the composite-key slot index is kept **sorted persistently** and
+  merge-updated, so lookup is a searchsorted over the delta, never a
+  re-sort of the full slot space;
+* schedules and ghost buffers are patched as flat CSR arrays in place
+  (retire/append as above), never rebuilt;
+* executor caches (``exec_space``/``exec_refs``) are carried across the
+  patch and overwritten only at delta positions
+  (:func:`repro.core.executor.patch_exec_caches`);
+* pattern groups with provably identical communication structure (same
+  distribution, element-equal indirection state -- e.g. the x- and
+  y-patterns of one edge loop) are patched **once**: the second group
+  replays the first's simulated charges and adopts its arrays under a
+  distinct schedule identity (``CommSchedule.twin``), halving patch
+  wall time in the common two-group case.
+
+``benchmarks/bench_table_adapt.py`` gates this: patch wall must beat
+full-re-inspection wall at the smallest churn fraction, and the
+patch/full wall ratio should shrink with churn.
+
+The same retire/append discipline extends to **repartitioning**:
+:func:`repro.distribution.irregular.repartition_stable` keeps every
+unmoved element's (owner, local offset) across a load-balance step, so
+:func:`repro.chaos.remap.patch_remap_schedule` builds the array-remap
+schedule from the migration delta alone -- the mapper/coupler epoch
+loop patches its remaps the way refinement epochs patch their
+schedules.
 """
 
 from repro.adapt.diff import (

@@ -317,6 +317,7 @@ class AdaptiveExecutor:
             prog.patch_hits,
             machine.phase_time("inspector"),
             len(adapt.fallback_log) if adapt is not None else 0,
+            prog.inspect_wall,
         )
         prog.forall(self.loop, n_times=1)
         if prog.inspector_runs > before[0]:
@@ -329,6 +330,10 @@ class AdaptiveExecutor:
             {
                 "mode": mode,
                 "inspector_time": machine.phase_time("inspector") - before[2],
+                # host wall spent deciding + satisfying this step's
+                # inspection (reuse check, diff + patch, or full run):
+                # the number the wall-proportionality bench gate reads
+                "inspect_wall_seconds": prog.inspect_wall - before[4],
                 "fallbacks": (
                     list(adapt.fallback_log[before[3] :])
                     if adapt is not None

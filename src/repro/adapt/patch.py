@@ -42,6 +42,7 @@ import numpy as np
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
 from repro.chaos.localize import LocalizeResult, sorted_unique_inverse
 from repro.chaos.ttable import TranslationTable
+from repro.core.executor import patch_exec_caches
 from repro.core.inspector import InspectorProduct, PatternData
 from repro.core.iteration import (
     ITERATION_RECORD_BYTES,
@@ -74,6 +75,11 @@ class _PatchTranslationCache:
 
     def __init__(self) -> None:
         self._by_sig: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+
+    def has_entries(self, sig: tuple) -> bool:
+        """Whether a probe against ``sig`` would hit a non-empty cache."""
+        cached = self._by_sig.get(sig)
+        return cached is not None and bool(cached[0].size)
 
     def translate(
         self,
@@ -130,6 +136,79 @@ class _PatchTranslationCache:
                 )
             self._by_sig[sig] = merged
         return owner, lidx
+
+
+class _DeltaCache:
+    """Per-patch cache of per-indirection delta views.
+
+    Every group member referencing indirection ``ind`` has the same
+    delta iteration set ``D = moved ∪ changed[ind]`` and the same
+    derived gathers (old/new flat positions, homes, new targets) -- and
+    one loop's groups overwhelmingly share indirections (``x(edge(i))``
+    and ``y(edge(i))`` both reference through ``edge``), so these are
+    computed once per patch instead of once per member.  ``moved`` and
+    every ``changed[...]`` are sorted subsets of ``changed_iters``, so
+    the union is a flag-merge over ``changed_iters`` (no re-sort).
+    """
+
+    def __init__(
+        self,
+        arrays: dict[str, DistArray],
+        changed: dict[str, np.ndarray],
+        changed_iters: np.ndarray,
+        moved: np.ndarray,
+        home_old: np.ndarray,
+        home_new: np.ndarray,
+        inv_old: np.ndarray,
+        inv_new: np.ndarray,
+    ) -> None:
+        self._arrays = arrays
+        self._changed = changed
+        self._changed_iters = changed_iters
+        self._moved = moved
+        self._moved_pos = np.searchsorted(changed_iters, moved)
+        self._home_old = home_old
+        self._home_new = home_new
+        self._inv_old = inv_old
+        self._inv_new = inv_new
+        self._by_ind: dict[str | None, tuple] = {}
+
+    def delta(self, ind: str | None):
+        """``(D, old_pos, new_pos, p_old, p_new, t_new)`` for one
+        indirection: the delta iterations, their positions in the old
+        and new flat iteration orders, their old and new homes, and the
+        global element each one now targets."""
+        hit = self._by_ind.get(ind)
+        if hit is not None:
+            return hit
+        ch = _EMPTY if ind is None else self._changed.get(ind, _EMPTY)
+        if not ch.size:
+            D = self._moved
+        elif not self._moved.size and ind is not None:
+            D = ch
+        else:
+            flag = np.zeros(self._changed_iters.size, dtype=bool)
+            flag[self._moved_pos] = True
+            flag[np.searchsorted(self._changed_iters, ch)] = True
+            D = self._changed_iters[flag]
+        if ind is None:
+            t_new = D
+        elif D.size:
+            t_new = np.asarray(
+                self._arrays[ind].global_view(), dtype=np.int64
+            )[D]
+        else:
+            t_new = _EMPTY
+        out = (
+            D,
+            self._inv_old[D] if D.size else _EMPTY,
+            self._inv_new[D] if D.size else _EMPTY,
+            self._home_old[D] if D.size else _EMPTY,
+            self._home_new[D] if D.size else _EMPTY,
+            t_new,
+        )
+        self._by_ind[ind] = out
+        return out
 
 
 @dataclass
@@ -204,22 +283,19 @@ def _patch_group(
     gstate: GroupState,
     member_keys: list,
     ttable: TranslationTable,
-    changed: dict[str, np.ndarray],
-    home_old: np.ndarray,
-    home_new: np.ndarray,
+    deltas: "_DeltaCache",
     moved: np.ndarray,
     inv_old: np.ndarray,
     new_iter_flat: np.ndarray,
     new_bounds: np.ndarray,
-    inv_new: np.ndarray,
     costs: ChaosCosts,
     trans_cache: "_PatchTranslationCache",
 ) -> tuple[dict, dict, GroupState] | None:
     """Patch one pattern group; returns (new PatternData by key, stats,
-    updated GroupState to persist) or ``None`` when the group has no
-    delta (saved data reusable as-is, iteration order unchanged).  Never
-    mutates ``gstate`` -- the caller persists the returned state only
-    after every group has succeeded."""
+    updated GroupState to persist, twin pack) or ``None`` when the group
+    has no delta (saved data reusable as-is, iteration order unchanged).
+    Never mutates ``gstate`` -- the caller persists the returned state
+    only after every group has succeeded."""
     n = machine.n_procs
     array_name = gstate.array
     arr = arrays[array_name]
@@ -229,25 +305,19 @@ def _patch_group(
     stride = max(dist.size, 1)
 
     # -- per-member deltas: retire old refs, collect new ones ------------
-    member_D: list[np.ndarray] = []
+    member_D: list[tuple[np.ndarray, np.ndarray]] = []
     rem_slot_parts: list[np.ndarray] = []
     rem_proc_parts: list[np.ndarray] = []
     add_p_parts: list[np.ndarray] = []
     add_t_parts: list[np.ndarray] = []
     for akey in member_keys:
-        ind = akey[1]
-        if ind is None:
-            D = moved
-        else:
-            ch = changed.get(ind, _EMPTY)
-            D = np.union1d(moved, ch) if ch.size else moved
-        member_D.append(D)
+        D, old_pos, new_pos, p_old, p_new, t_new = deltas.delta(akey[1])
+        member_D.append((D, new_pos))
         if not D.size:
             add_p_parts.append(_EMPTY)
             add_t_parts.append(_EMPTY)
             continue
-        p_old = home_old[D]
-        lv = product.patterns[akey].localized.refs_flat[inv_old[D]]
+        lv = product.patterns[akey].localized.refs_flat[old_pos]
         is_ghost = lv >= local_sizes[p_old]
         if is_ghost.any():
             gp = p_old[is_ghost]
@@ -255,10 +325,7 @@ def _patch_group(
                 gstate.slot_bounds[gp] + (lv[is_ghost] - local_sizes[gp])
             )
             rem_proc_parts.append(gp)
-        t_new = D if ind is None else (
-            np.asarray(arrays[ind].global_view(), dtype=np.int64)[D]
-        )
-        add_p_parts.append(home_new[D])
+        add_p_parts.append(p_new)
         add_t_parts.append(t_new)
 
     add_p = np.concatenate(add_p_parts) if add_p_parts else _EMPTY
@@ -284,10 +351,10 @@ def _patch_group(
         owners_add = _EMPTY
         lidx_add = _EMPTY
     ghost_mask = owners_add != add_p
-    machine.charge_compute_all(
-        iops=costs.translate_replicated
-        * np.bincount(add_p, minlength=n).astype(np.float64)
-    )
+    classify_iops = costs.translate_replicated * np.bincount(
+        add_p, minlength=n
+    ).astype(np.float64)
+    machine.charge_compute_all(iops=classify_iops)
 
     # -- slot count update: retire / revive / insert ---------------------
     # work on a copy: gstate must stay untouched until the whole patch
@@ -297,13 +364,15 @@ def _patch_group(
     counts_entry = gstate.counts
     counts = counts_entry.copy()
     if rem_slots.size:
-        np.add.at(counts, rem_slots, -1)
+        # bincount beats ufunc.at by an order of magnitude at this size
+        counts -= np.bincount(rem_slots, minlength=counts.size)
     gidx = np.flatnonzero(ghost_mask)
     comp = add_p[gidx] * stride + add_t[gidx]
     slot_proc_old = gstate.slot_proc()
-    mcomp = slot_proc_old * stride + gstate.keys
-    morder = np.argsort(mcomp, kind="stable")
-    msorted = mcomp[morder]
+    # persisted sorted slot index (built at state capture, merged on
+    # every patch): probing it replaces the old per-patch full argsort
+    # of the slot space, keeping patch wall work delta-proportional
+    msorted, morder = gstate.slot_index(stride)
     if msorted.size:
         pos = np.searchsorted(msorted, comp)
         found = (pos < msorted.size) & (
@@ -316,7 +385,7 @@ def _patch_group(
         found = np.zeros(comp.size, dtype=bool)
         found_slots = _EMPTY
     if found_slots.size:
-        np.add.at(counts, found_slots, 1)
+        counts += np.bincount(found_slots, minlength=counts.size)
     if counts.size and counts.min() < 0:
         raise PatchAborted(
             f"adapt: negative reference count patching group "
@@ -395,7 +464,7 @@ def _patch_group(
     owners2[alloc] = uniq_owner
     lidx2[alloc] = uniq_lidx
     if inv_missing.size:
-        np.add.at(counts2, alloc[inv_missing], 1)
+        counts2 += np.bincount(alloc[inv_missing], minlength=counts2.size)
 
     # resolved (new-space) slot per ghost add
     slot_of_ghost_add = np.empty(comp.size, dtype=np.int64)
@@ -440,13 +509,12 @@ def _patch_group(
         slot_proc_old[revived], minlength=n
     ).astype(np.float64)
     sched_delta_per_proc = dead_per_proc + revived_per_proc + new_per_proc
-    machine.charge_compute_all(
-        iops=(
-            costs.hash_lookup * (n_add_per_proc + n_rem_per_proc)
-            + costs.hash_insert * new_per_proc
-            + costs.schedule_build * sched_delta_per_proc
-        )
+    sched_iops = (
+        costs.hash_lookup * (n_add_per_proc + n_rem_per_proc)
+        + costs.hash_insert * new_per_proc
+        + costs.schedule_build * sched_delta_per_proc
     )
+    machine.charge_compute_all(iops=sched_iops)
     # requesters tell owners which send-list entries to add/retire
     d_p = np.concatenate(
         [slot_proc_old[went_dead], slot_proc_old[revived], uniq_proc]
@@ -454,28 +522,29 @@ def _patch_group(
     d_q = np.concatenate(
         [gstate.owners[went_dead], gstate.owners[revived], uniq_owner]
     )
+    exch = None
+    recv_iops = None
     if d_p.size:
         pcomp, pinv = sorted_unique_inverse(d_p * n + d_q)
         pcounts = np.bincount(pinv, minlength=pcomp.size)
         pp, pq = pcomp // n, pcomp % n
         cross = pp != pq
-        machine.exchange(
-            src=pp[cross],
-            dst=pq[cross],
-            nbytes=pcounts[cross] * costs.index_bytes,
-        )
-        machine.charge_compute_all(
-            iops=costs.schedule_build
-            * np.bincount(d_q, minlength=n).astype(np.float64)
-        )
+        exch = (pp[cross], pq[cross], pcounts[cross] * costs.index_bytes)
+        recv_iops = costs.schedule_build * np.bincount(
+            d_q, minlength=n
+        ).astype(np.float64)
+        machine.exchange(src=exch[0], dst=exch[1], nbytes=exch[2])
+        machine.charge_compute_all(iops=recv_iops)
 
     # -- rebuild per-member localized reference lists --------------------
     old_to_new = inv_old[new_iter_flat]
     ghost_flat = keys2.copy()
     ghost_flat[counts2 == 0] = -1
     patterns_new: dict = {}
+    partition_changed = moved.size > 0
+    shared_space = None
     offset = 0
-    for akey, D in zip(member_keys, member_D):
+    for akey, (D, dpos) in zip(member_keys, member_D):
         pat = product.patterns[akey]
         new_loc_refs = pat.localized.refs_flat[old_to_new]
         n_d = D.size
@@ -492,7 +561,7 @@ def _patch_group(
                 vals[gm] = local_sizes[p_seg[gm]] + (
                     slots - slot_bounds_new[p_seg[gm]]
                 )
-            new_loc_refs[inv_new[D]] = vals
+            new_loc_refs[dpos] = vals
         offset += n_d
         loc_new = LocalizeResult(
             local_sizes=[int(s) for s in local_sizes],
@@ -502,9 +571,45 @@ def _patch_group(
             ghost_flat=ghost_flat,
             ghost_bounds=slot_bounds_new,
         )
-        patterns_new[akey] = PatternData(
+        new_pat = PatternData(
             array=array_name, index=akey[1], localized=loc_new, ghosts=ghosts_new
         )
+        # carry the executor's combined-space caches across the patch
+        # (host-level; delta positions only) instead of dropping them
+        carried = patch_exec_caches(
+            pat,
+            new_pat,
+            changed_pos=dpos,
+            partition_changed=partition_changed,
+            space=shared_space,
+        )
+        if carried is not None:
+            shared_space = carried
+        patterns_new[akey] = new_pat
+
+    # -- merge the delta into the persisted sorted slot index ------------
+    # reused holes change key (drop their old entries), every allocated
+    # slot gains one (uniq_comp is ascending and disjoint from surviving
+    # comps -- a found comp is never allocated), and surviving entries
+    # keep their order with slot ids shifted into the grown space
+    S_old = gstate.keys.size
+    pos_of_slot = np.empty(S_old, dtype=np.int64)
+    pos_of_slot[morder] = np.arange(S_old, dtype=np.int64)
+    live_entry = np.ones(S_old, dtype=bool)
+    live_entry[pos_of_slot[reused]] = False
+    kept_comp = msorted[live_entry]
+    kept_slot = (morder + shift[slot_proc_old[morder]])[live_entry]
+    nk = kept_comp.size
+    kr = np.arange(nk, dtype=np.int64)
+    ins = np.searchsorted(kept_comp, uniq_comp, side="right")
+    sorted_comp2 = np.empty(nk + n_uniq, dtype=np.int64)
+    sorted_slot2 = np.empty(nk + n_uniq, dtype=np.int64)
+    added_pos = ins + np.arange(n_uniq, dtype=np.int64)
+    kept_pos = kr + np.searchsorted(ins, kr, side="right")
+    sorted_comp2[kept_pos] = kept_comp
+    sorted_slot2[kept_pos] = kept_slot
+    sorted_comp2[added_pos] = uniq_comp
+    sorted_slot2[added_pos] = alloc
 
     # the updated slot space, applied by the caller once every group
     # has patched successfully (atomicity: see counts copy above)
@@ -516,6 +621,9 @@ def _patch_group(
         owners=owners2,
         lidx=lidx2,
         counts=counts2,
+        sorted_comp=sorted_comp2,
+        sorted_slot=sorted_slot2,
+        index_stride=stride,
     )
     stats = {
         "added": int(ghost_mask.sum()),
@@ -524,7 +632,154 @@ def _patch_group(
         "new_unique": int(n_uniq),
         "appended": int(n_append.sum()),
     }
-    return patterns_new, stats, new_state
+    # everything a structurally identical sibling group needs to replay
+    # this patch without recomputing it (see _patch_group_twin)
+    pack = {
+        "inds": [k[1] for k in member_keys],
+        "old_gstate": gstate,
+        "old_schedule": old_schedule,
+        "old_refs": {
+            k[1]: product.patterns[k].localized.refs_flat for k in member_keys
+        },
+        "local_sizes": local_sizes,
+        "need": need,
+        "schedule_new": schedule_new,
+        "new_patterns": {k[1]: patterns_new[k] for k in member_keys},
+        "new_state": new_state,
+        "stats": stats,
+        "classify_iops": classify_iops,
+        "probe_iops": costs.hash_lookup
+        * np.bincount(uniq_proc, minlength=n).astype(np.float64),
+        "sched_iops": sched_iops,
+        "exch": exch,
+        "recv_iops": recv_iops,
+    }
+    return patterns_new, stats, new_state, pack
+
+
+def _same(a, b) -> bool:
+    """Array equality with an identity fast path.
+
+    Twin groups share ndarray objects after their first deduplicated
+    patch, so steady-state verification is ``is`` checks; full content
+    compares only happen on the first patch after a capture or a
+    checkpoint restore (pickling breaks sharing)."""
+    return a is b or np.array_equal(a, b)
+
+
+def _twin_matches(pack, product, gstate: GroupState, member_keys: list) -> bool:
+    """Whether this group is byte-identical to the group ``pack`` came
+    from: same indirections, same slot state, same schedule content,
+    same saved localized references.  When it is, the groups perform
+    identical patch work and :func:`_patch_group_twin` applies."""
+    if [k[1] for k in member_keys] != pack["inds"]:
+        return False
+    g0 = pack["old_gstate"]
+    for f in ("slot_bounds", "keys", "owners", "lidx", "counts"):
+        if not _same(getattr(gstate, f), getattr(g0, f)):
+            return False
+    first = product.patterns[member_keys[0]].localized
+    s0, s1 = pack["old_schedule"], first.schedule
+    if s1 is not s0:
+        if s1.ghost_sizes != s0.ghost_sizes:
+            return False
+        for f in ("_pair_q", "_pair_p", "_pair_len", "_flat_send", "_flat_recv"):
+            if not _same(getattr(s1, f), getattr(s0, f)):
+                return False
+    if not np.array_equal(
+        np.asarray(first.local_sizes, dtype=np.int64), pack["local_sizes"]
+    ):
+        return False
+    for akey in member_keys:
+        if not _same(
+            product.patterns[akey].localized.refs_flat, pack["old_refs"][akey[1]]
+        ):
+            return False
+    return True
+
+
+def _patch_group_twin(
+    machine: Machine,
+    product: InspectorProduct,
+    gstate: GroupState,
+    member_keys: list,
+    ttable: TranslationTable,
+    pack: dict,
+    trans_cache: _PatchTranslationCache,
+    sig: tuple,
+    costs: ChaosCosts,
+) -> tuple[dict, dict, GroupState]:
+    """Replay a structurally identical sibling group's patch.
+
+    One loop's pattern groups routinely differ only in the data array
+    they move (``x(edge(i))`` vs ``y(edge(i))``): same distribution,
+    same indirections, and -- verified by :func:`_twin_matches` -- the
+    same slot state, so every host-side array the patch derives is the
+    same.  The sibling shares those arrays outright (schedules are
+    immutable; a :meth:`~repro.chaos.schedule.CommSchedule.twin` clone
+    keeps the distinct object identity the executor's coalescing and
+    ``product_groups`` key on) and rebuilds only what is genuinely
+    per-group: its ghost backing (its own data values) and its simulated
+    charges.  Charges are replayed in _patch_group's exact order --
+    including the translation-cache probe this group would have paid in
+    place of remote dereferences -- so machine numbers are identical to
+    patching each group independently.
+    """
+    schedule_new = pack["schedule_new"].twin()
+    machine.charge_compute_all(iops=pack["classify_iops"])
+    if trans_cache.has_entries(sig):
+        machine.charge_compute_all(iops=pack["probe_iops"])
+    # an independent patch of this group would probe the translation
+    # cache (all hits -- the sibling populated it) and then dereference
+    # an *empty* miss set, which still pays the table's fixed
+    # request/reply round; replay that too
+    ttable.dereference_flat(
+        _EMPTY, np.zeros(machine.n_procs + 1, dtype=np.int64)
+    )
+    ghosts_new = product.patterns[member_keys[0]].ghosts.patched(
+        schedule_new, costs=costs, appended=pack["need"]
+    )
+    machine.charge_compute_all(iops=pack["sched_iops"])
+    if pack["exch"] is not None:
+        src, dst, nbytes = pack["exch"]
+        machine.exchange(src=src, dst=dst, nbytes=nbytes)
+        machine.charge_compute_all(iops=pack["recv_iops"])
+    patterns_new: dict = {}
+    for akey in member_keys:
+        prim = pack["new_patterns"][akey[1]]
+        loc = prim.localized
+        loc_new = LocalizeResult(
+            local_sizes=loc.local_sizes,
+            schedule=schedule_new,
+            refs_flat=loc.refs_flat,
+            ref_bounds=loc.ref_bounds,
+            ghost_flat=loc.ghost_flat,
+            ghost_bounds=loc.ghost_bounds,
+        )
+        # executor caches are value-independent (positions only), so the
+        # sibling's patched caches are this group's too
+        patterns_new[akey] = PatternData(
+            array=gstate.array,
+            index=akey[1],
+            localized=loc_new,
+            ghosts=ghosts_new,
+            exec_space=prim.exec_space,
+            exec_refs=prim.exec_refs,
+        )
+    ns = pack["new_state"]
+    new_state = GroupState(
+        array=gstate.array,
+        indexes=gstate.indexes,
+        slot_bounds=ns.slot_bounds,
+        keys=ns.keys,
+        owners=ns.owners,
+        lidx=ns.lidx,
+        counts=ns.counts,
+        sorted_comp=ns.sorted_comp,
+        sorted_slot=ns.sorted_slot,
+        index_stride=ns.index_stride,
+    )
+    return patterns_new, dict(pack["stats"]), new_state
 
 
 def patch_product(
@@ -551,9 +806,17 @@ def patch_product(
     n_procs = machine.n_procs
 
     parts = [c for c in changed.values() if c.size]
-    changed_iters = (
-        np.unique(np.concatenate(parts)) if parts else _EMPTY
-    )
+    if not parts:
+        changed_iters = _EMPTY
+    elif len(parts) == 1:
+        changed_iters = parts[0]
+    else:
+        # union of sorted position sets via one flag pass over the
+        # iteration space -- beats sorting the concatenation
+        flag = np.zeros(loop.n_iterations, dtype=bool)
+        for c in parts:
+            flag[c] = True
+        changed_iters = np.flatnonzero(flag)
     home_old = state.home
     old_part = product.iteration_partition
     home_new, moved = _revote(
@@ -582,31 +845,63 @@ def patch_product(
     pending_states: dict = {}
     any_patched = False
     trans_cache = _PatchTranslationCache()
+    deltas = _DeltaCache(
+        arrays, changed, changed_iters, moved,
+        home_old, home_new, inv_old, inv_new,
+    )
+    group_memo: dict[tuple, dict] = {}
     for member_keys in product_groups(product):
         gkey = group_state_key(member_keys)
         gstate = state.groups[gkey]
         arr = arrays[gstate.array]
-        tkey = (gstate.array, arr.distribution.signature())
-        ttable = ttables[tkey]
+        sig = arr.distribution.signature()
+        ttable = ttables[(gstate.array, sig)]
+        # groups over the same indirections and distribution whose slot
+        # state is byte-identical patch identically: compute once, let
+        # every sibling replay the result (charges included)
+        mkey = (tuple(k[1] for k in member_keys), sig)
+        twin = group_memo.get(mkey)
         try:
-            out = _patch_group(
-                machine,
-                arrays,
-                product,
-                gstate,
-                member_keys,
-                ttable,
-                changed,
-                home_old,
-                home_new,
-                moved,
-                inv_old,
-                new_iter_flat,
-                new_bounds,
-                inv_new,
-                costs,
-                trans_cache,
-            )
+            if twin is not None and twin.get("none"):
+                # an empty delta is a function of the indirections
+                # alone, so the sibling's is empty too
+                out = None
+            elif twin is not None and _twin_matches(
+                twin, product, gstate, member_keys
+            ):
+                out = _patch_group_twin(
+                    machine,
+                    product,
+                    gstate,
+                    member_keys,
+                    ttable,
+                    twin,
+                    trans_cache,
+                    sig,
+                    costs,
+                )
+            else:
+                full = _patch_group(
+                    machine,
+                    arrays,
+                    product,
+                    gstate,
+                    member_keys,
+                    ttable,
+                    deltas,
+                    moved,
+                    inv_old,
+                    new_iter_flat,
+                    new_bounds,
+                    costs,
+                    trans_cache,
+                )
+                if full is None:
+                    group_memo[mkey] = {"none": True}
+                    out = None
+                else:
+                    out = full[:3]
+                    group_memo[mkey] = full[3]
         except ValueError as exc:
             # schedule/buffer assembly rejected the delta (shrunk ghost
             # region, mismatched shapes): the saved state disagrees with

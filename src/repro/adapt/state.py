@@ -43,6 +43,15 @@ class GroupState:
     owners: np.ndarray  # (S,) owning processor of each ghost key
     lidx: np.ndarray  # (S,) owner-local offset of each ghost key
     counts: np.ndarray  # (S,) live reference count; 0 marks a hole
+    #: persisted sorted slot index: ``sorted_comp`` holds the composite
+    #: ``slot_proc * stride + key`` of every slot in ascending order
+    #: (ties slot-ascending) and ``sorted_slot`` the slot id per entry.
+    #: Built once (lazily) and *merged* delta-sized on every patch, so
+    #: lookups never re-sort the slot space.  ``None`` after restore
+    #: from a pre-index checkpoint; rebuilt on first use.
+    sorted_comp: np.ndarray | None = None
+    sorted_slot: np.ndarray | None = None
+    index_stride: int = 0
 
     def slot_proc(self) -> np.ndarray:
         """Processor owning each global slot id."""
@@ -50,6 +59,26 @@ class GroupState:
             np.arange(self.slot_bounds.size - 1, dtype=np.int64),
             np.diff(self.slot_bounds),
         )
+
+    def slot_index(self, stride: int) -> tuple[np.ndarray, np.ndarray]:
+        """``(sorted_comp, sorted_slot)`` for ``stride``, building on miss.
+
+        The one argsort here runs only on first use (or after a stride
+        change, which implies a new distribution and therefore fresh
+        state anyway); patches keep the index current by merging their
+        delta instead of calling back into this.
+        """
+        if (
+            self.sorted_comp is None
+            or self.sorted_slot is None
+            or self.index_stride != stride
+        ):
+            comp = self.slot_proc() * stride + self.keys
+            order = np.argsort(comp, kind="stable")
+            self.sorted_comp = comp[order]
+            self.sorted_slot = order
+            self.index_stride = stride
+        return self.sorted_comp, self.sorted_slot
 
 
 @dataclass
@@ -112,7 +141,7 @@ def build_group_state(
         if ghost.any():
             gslot = slot_bounds[pid[ghost]] + (refs[ghost] - local_sizes[pid[ghost]])
             np.add.at(counts, gslot, 1)
-    return GroupState(
+    state = GroupState(
         array=array_name,
         indexes=tuple(k[1] for k in member_keys),
         slot_bounds=slot_bounds,
@@ -121,6 +150,10 @@ def build_group_state(
         lidx=lidx,
         counts=counts,
     )
+    # build the sorted slot index now, while the full inspection is
+    # already paying O(S log S): patches then only merge deltas into it
+    state.slot_index(max(dist.size, 1))
+    return state
 
 
 def build_adapt_state(

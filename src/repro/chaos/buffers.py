@@ -110,11 +110,16 @@ class GhostBuffers:
                 "is append-only"
             )
         if self.backing.size:
-            # copy each processor's old region to the start of its new
-            # region: one gather/scatter over precomputed positions
-            rep = np.repeat(np.arange(self.machine.n_procs), old_sizes)
-            old_pos = np.arange(self.backing.size)
-            new.backing[new.offsets[rep] + (old_pos - self.offsets[rep])] = self.backing
+            if np.array_equal(new.offsets, self.offsets):
+                # unchanged layout: every retained slot keeps its flat
+                # position -- one contiguous copy, no index arrays
+                new.backing[:] = self.backing
+            else:
+                # copy each processor's old region to the start of its
+                # new region: one scatter over shifted positions
+                shift = new.offsets[:-1] - self.offsets[:-1]
+                old_pos = np.arange(self.backing.size, dtype=np.int64)
+                new.backing[old_pos + np.repeat(shift, old_sizes)] = self.backing
         if appended is None:
             appended = new_sizes - old_sizes
         self.machine.charge_compute_all(

@@ -61,6 +61,8 @@ class RemapSchedule:
         pair_counts: np.ndarray | None = None,
         src_index: np.ndarray | None = None,
         dst_index: np.ndarray | None = None,
+        carry_p: np.ndarray | None = None,
+        carry_index: np.ndarray | None = None,
     ):
         self.machine = machine
         self.old_signature = old_signature
@@ -91,6 +93,17 @@ class RemapSchedule:
         self._elem_p = elem_p
         self._dst_pos = new_dist.flat_offsets()[elem_q] + dst_index
         self._src_pos: np.ndarray | None = None
+        # carried elements keep their exact (owner, local offset): no
+        # simulated cost -- the data never leaves its slot on the real
+        # machine, only the simulator's flat backing layout shifts.  A
+        # full schedule covers every element via pairs and carries none.
+        self.carry_p = carry_p
+        self.carry_index = carry_index
+        if carry_p is not None and carry_p.size:
+            self._carry_dst_pos = new_dist.flat_offsets()[carry_p] + carry_index
+        else:
+            self._carry_dst_pos = None
+        self._carry_src_pos: np.ndarray | None = None
 
     @property
     def moves(self) -> dict[tuple[int, int], tuple[np.ndarray, np.ndarray]]:
@@ -132,6 +145,12 @@ class RemapSchedule:
                 arr.distribution.flat_offsets()[self._elem_p] + self.src_index
             )
         new_data = np.empty(self.new_dist.size, dtype=arr.dtype)
+        if self._carry_dst_pos is not None:
+            if self._carry_src_pos is None:
+                self._carry_src_pos = (
+                    arr.distribution.flat_offsets()[self.carry_p] + self.carry_index
+                )
+            new_data[self._carry_dst_pos] = arr.backing_ro[self._carry_src_pos]
         new_data[self._dst_pos] = arr.backing_ro[self._src_pos]
 
         pack_w = costs.pack_unpack_mem * self.pair_counts
@@ -206,6 +225,111 @@ def build_remap_schedule(
         src_index=src_index,
         dst_index=dst_index,
     )
+
+
+def patch_remap_schedule(
+    machine: Machine,
+    old_dist: Distribution,
+    new_dist: Distribution,
+    plan,
+    costs: ChaosCosts = DEFAULT_COSTS,
+) -> RemapSchedule:
+    """Build a remap schedule from a repartitioning delta alone.
+
+    ``plan`` is the :class:`~repro.distribution.irregular.RebalancePlan`
+    that produced ``new_dist`` from ``old_dist`` (via
+    ``repartition_stable``): ``moved`` elements change processor and pay
+    network; ``repacked`` elements slide within their processor's memory
+    (self pairs, pack/unpack only); every other element keeps its exact
+    (owner, local offset) and is *carried* -- zero simulated cost, one
+    host fancy-index.  Schedule-construction charges are sized by the
+    delta, not the array: ``remap_build`` per moved/repacked element and
+    a move-list exchange over the cross pairs only, mirroring
+    :func:`build_remap_schedule` shrunk to the touched set.
+    """
+    if old_dist.size != new_dist.size:
+        raise ValueError(
+            f"cannot remap between sizes {old_dist.size} and {new_dist.size}"
+        )
+    if old_dist.n_procs != machine.n_procs or new_dist.n_procs != machine.n_procs:
+        raise ValueError("distributions must span the machine")
+    n = machine.n_procs
+    size = old_dist.size
+    touched = np.concatenate([plan.moved, plan.repacked])
+    ep = np.asarray(old_dist.owner(touched), dtype=np.int64)
+    eq = np.asarray(new_dist.owner(touched), dtype=np.int64)
+    old_l = np.asarray(old_dist.local_index(touched), dtype=np.int64)
+    new_l = np.asarray(new_dist.local_index(touched), dtype=np.int64)
+    if plan.repacked.size:
+        rp = ep[plan.moved.size :]
+        rq = eq[plan.moved.size :]
+        if not np.array_equal(rp, rq):
+            raise ValueError("repacked elements must keep their processor")
+
+    pair_keys, order, bounds = _group_elements(
+        ep * n + eq if touched.size else np.empty(0, dtype=np.int64)
+    )
+    pair_p = pair_keys // n
+    pair_q = pair_keys % n
+    pair_counts = np.diff(bounds)
+    src_index = old_l[order]
+    dst_index = new_l[order]
+
+    carry_mask = np.ones(size, dtype=bool)
+    carry_mask[touched] = False
+    carry_g = np.flatnonzero(carry_mask)
+    carry_p = np.asarray(old_dist.owner(carry_g), dtype=np.int64)
+    carry_index = np.asarray(old_dist.local_index(carry_g), dtype=np.int64)
+
+    per_proc = np.bincount(pair_p, weights=pair_counts, minlength=n)
+    machine.charge_compute_all(iops=costs.remap_build * per_proc)
+    cross = pair_p != pair_q
+    machine.exchange(
+        src=pair_p[cross],
+        dst=pair_q[cross],
+        nbytes=pair_counts[cross] * 2 * costs.index_bytes,
+    )
+    machine.barrier()
+    return RemapSchedule(
+        machine,
+        old_dist.signature(),
+        new_dist,
+        pair_p=pair_p,
+        pair_q=pair_q,
+        pair_counts=pair_counts,
+        src_index=src_index,
+        dst_index=dst_index,
+        carry_p=carry_p,
+        carry_index=carry_index,
+    )
+
+
+def remap_arrays_incremental(
+    arrays: list[DistArray],
+    new_dist: Distribution,
+    plan,
+    costs: ChaosCosts = DEFAULT_COSTS,
+) -> RemapSchedule:
+    """Like :func:`remap_arrays`, with the schedule patched from a
+    :class:`~repro.distribution.irregular.RebalancePlan` delta instead
+    of rebuilt over every element."""
+    if not arrays:
+        raise ValueError("no arrays to remap")
+    first = arrays[0]
+    for arr in arrays[1:]:
+        if arr.distribution.signature() != first.distribution.signature():
+            raise ValueError(
+                f"arrays {first.name!r} and {arr.name!r} have different "
+                "distributions; remap them separately"
+            )
+        if arr.machine is not first.machine:
+            raise ValueError("arrays live on different machines")
+    sched = patch_remap_schedule(
+        first.machine, first.distribution, new_dist, plan, costs
+    )
+    for arr in arrays:
+        sched.apply(arr, costs)
+    return sched
 
 
 def remap_array(

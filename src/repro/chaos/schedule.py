@@ -218,16 +218,36 @@ class CommSchedule:
         """Per-element ``(q, p, send, recv)`` arrays in flat (pair) order.
 
         The inverse of :meth:`from_entries`: every moved ghost element as
-        one row, owners/requesters repeated per pair.  Arrays are fresh
-        copies where repetition requires it; ``send``/``recv`` are the
-        internal flat arrays (treat as read-only).
+        one row, owners/requesters repeated per pair.  All four arrays
+        are non-writeable: ``send``/``recv`` are views of the internal
+        flat arrays (writing through them would silently corrupt the
+        schedule, so NumPy raises instead), and the repeated ``q``/``p``
+        arrays are locked for symmetry.
         """
-        return (
-            np.repeat(self._pair_q, self._pair_len),
-            np.repeat(self._pair_p, self._pair_len),
-            self._flat_send,
-            self._flat_recv,
-        )
+        q = np.repeat(self._pair_q, self._pair_len)
+        p = np.repeat(self._pair_p, self._pair_len)
+        send = self._flat_send[:]
+        recv = self._flat_recv[:]
+        for a in (q, p, send, recv):
+            a.flags.writeable = False
+        return q, p, send, recv
+
+    def twin(self) -> "CommSchedule":
+        """A distinct schedule object sharing every internal array.
+
+        Schedules are immutable after construction, so two pattern
+        groups whose communication structure is provably identical (same
+        distribution, same indirection values -- e.g. ``x(edge(i))`` and
+        ``y(edge(i))`` after one incremental patch) can share the flat
+        arrays while keeping separate identities.  Identity matters:
+        the executor coalesces gathers and groups scatter staging by
+        schedule object, and ``product_groups`` delimits pattern groups
+        the same way -- a *shared* object would fuse two groups that
+        move different data.
+        """
+        new = CommSchedule.__new__(CommSchedule)
+        new.__dict__.update(self.__dict__)
+        return new
 
     def patched(
         self,
@@ -250,31 +270,263 @@ class CommSchedule:
         was appended).  ``keep_key``/``add_key`` order elements within
         each pair (ghost global indices give fresh-inspection wire
         order); ghost slots are the default.
+
+        When this schedule is canonically ordered (pairs requester-major
+        / owner-minor, elements key-sorted within a pair -- what
+        ``localize``, ``from_entries`` and ``patched`` itself produce),
+        the new schedule is assembled by *merging* the kept entries (a
+        pre-sorted run) with the sorted added entries: delta-sized sort
+        work instead of a full-entry-set ``lexsort`` round trip, with
+        flat arrays bit-identical to the slow path's.  Non-canonical
+        schedules fall back to ``from_entries``.
         """
-        q, p, send, recv = self.entries()
+        add_q = np.asarray(add_q, dtype=np.int64)
+        add_p = np.asarray(add_p, dtype=np.int64)
+        add_send = np.asarray(add_send, dtype=np.int64)
+        add_recv = np.asarray(add_recv, dtype=np.int64)
+        d = add_q.shape[0] if add_q.ndim else -1
+        if add_key is not None:
+            add_key = np.asarray(add_key, dtype=np.int64)
+        # cross-check every add_* length before building any state: a
+        # mismatched caller must fail loudly, not corrupt silently
+        sizes = {
+            "add_q": add_q.shape,
+            "add_p": add_p.shape,
+            "add_send": add_send.shape,
+            "add_recv": add_recv.shape,
+        }
+        if add_key is not None:
+            sizes["add_key"] = add_key.shape
+        if any(s != (d,) for s in sizes.values()):
+            detail = ", ".join(f"{k}={v}" for k, v in sizes.items())
+            raise ValueError(
+                f"patched() add arrays must be 1-D and the same length; got {detail}"
+            )
         keep = np.asarray(keep, dtype=bool)
-        if keep.shape != q.shape:
+        if keep.shape != (self._n_elements,):
             raise ValueError(
                 f"keep mask has shape {keep.shape}, schedule has "
-                f"{q.shape[0]} entries"
+                f"{self._n_elements} entries"
             )
-        if keep_key is None:
-            keep_key = recv
+        if keep_key is not None:
+            keep_key = np.asarray(keep_key, dtype=np.int64)
+            if keep_key.shape != (self._n_elements,):
+                raise ValueError(
+                    f"keep_key has shape {keep_key.shape}, schedule has "
+                    f"{self._n_elements} entries"
+                )
+        else:
+            keep_key = self._flat_recv
         if add_key is None:
-            add_key = np.asarray(add_recv, dtype=np.int64)
+            add_key = add_recv
+        fast = self._patched_merge(
+            keep, add_q, add_p, add_send, add_recv, ghost_sizes, keep_key, add_key
+        )
+        if fast is not None:
+            return fast
+        q, p, send, recv = self.entries()
         return CommSchedule.from_entries(
             self.machine,
             self.dist_signature,
-            np.concatenate([q[keep], np.asarray(add_q, dtype=np.int64)]),
-            np.concatenate([p[keep], np.asarray(add_p, dtype=np.int64)]),
-            np.concatenate([send[keep], np.asarray(add_send, dtype=np.int64)]),
-            np.concatenate([recv[keep], np.asarray(add_recv, dtype=np.int64)]),
+            np.concatenate([q[keep], add_q]),
+            np.concatenate([p[keep], add_p]),
+            np.concatenate([send[keep], add_send]),
+            np.concatenate([recv[keep], add_recv]),
             ghost_sizes,
-            order_key=np.concatenate(
-                [np.asarray(keep_key)[keep], np.asarray(add_key)]
-            ),
+            order_key=np.concatenate([keep_key[keep], add_key]),
             costs=self.costs,
         )
+
+    def _patched_merge(
+        self,
+        keep: np.ndarray,
+        add_q: np.ndarray,
+        add_p: np.ndarray,
+        add_send: np.ndarray,
+        add_recv: np.ndarray,
+        ghost_sizes: list[int],
+        keep_key: np.ndarray,
+        add_key: np.ndarray,
+    ) -> "CommSchedule | None":
+        """Merge-of-presorted-runs fast path for :meth:`patched`.
+
+        Returns ``None`` when this schedule is not canonically ordered
+        (or composite keys would overflow int64) -- the caller then takes
+        the ``from_entries`` lexsort path.  Otherwise the kept entries
+        are a sorted run in both flat order ``(p, q, key)`` and wire
+        order ``(q, p, key)``; the added entries are sorted (delta-sized)
+        and merged in with ``searchsorted``, and every derived array is
+        built directly -- no O(E log E) work, bit-identical results.
+        """
+        n = self.machine.n_procs
+        E = self._n_elements
+        kmax = -1
+        if E:
+            kmax = int(keep_key.max())
+        if add_key.size:
+            kmax = max(kmax, int(add_key.max()))
+        K = kmax + 1
+        if K <= 0 or (E and int(keep_key.min()) < 0) or (
+            add_key.size and int(add_key.min()) < 0
+        ):
+            return None
+        if n * n >= (2**63 - 1) // max(K, 1):
+            return None  # pragma: no cover - composite key would overflow
+        flat_q = np.repeat(self._pair_q, self._pair_len)
+        flat_p = np.repeat(self._pair_p, self._pair_len)
+        comp_flat = (flat_p * n + flat_q) * K + keep_key
+        if E and (np.diff(comp_flat) < 0).any():
+            return None
+        # canonical flat order sorts by requester p, so the stable
+        # recv_order in _init_flat was the identity and _unpack_src is
+        # exactly the flat -> wire permutation; invert it for wire -> flat
+        W = np.empty(E, dtype=np.int64)
+        W[self._unpack_src] = np.arange(E, dtype=np.int64)
+        comp_wire = (flat_q * n + flat_p) * K + keep_key
+        compW = comp_wire[W]
+        if E and (np.diff(compW) < 0).any():
+            return None
+
+        kept_idx = np.flatnonzero(keep)
+        Sk = kept_idx.size
+        d = add_q.size
+        ar = np.arange(d, dtype=np.int64)
+        kr = np.arange(Sk, dtype=np.int64)
+
+        # flat-order merge: added entries sorted by (p, q, key), inserted
+        # after equal kept entries ('right' = lexsort stability, since the
+        # slow path concatenates kept before added)
+        add_comp = (add_p * n + add_q) * K + add_key
+        aperm = np.argsort(add_comp, kind="stable")
+        ins = np.searchsorted(comp_flat[kept_idx], add_comp[aperm], side="right")
+        add_newpos = ins + ar
+        kept_newpos = kr + np.searchsorted(ins, kr, side="right")
+
+        E2 = Sk + d
+        flat_q2 = np.empty(E2, dtype=np.int64)
+        flat_p2 = np.empty(E2, dtype=np.int64)
+        send2 = np.empty(E2, dtype=np.int64)
+        recv2 = np.empty(E2, dtype=np.int64)
+        flat_q2[kept_newpos] = flat_q[kept_idx]
+        flat_p2[kept_newpos] = flat_p[kept_idx]
+        send2[kept_newpos] = self._flat_send[kept_idx]
+        recv2[kept_newpos] = self._flat_recv[kept_idx]
+        flat_q2[add_newpos] = add_q[aperm]
+        flat_p2[add_newpos] = add_p[aperm]
+        send2[add_newpos] = add_send[aperm]
+        recv2[add_newpos] = add_recv[aperm]
+
+        # wire-order merge: same game sorted by (q, p, key); the kept
+        # run is the old wire order with retired entries masked out
+        keepW = keep[W]
+        kw_flat = W[keepW]  # old flat index of each kept entry, wire order
+        add_wcomp = (add_q * n + add_p) * K + add_key
+        awperm = np.argsort(add_wcomp, kind="stable")
+        insw = np.searchsorted(compW[keepW], add_wcomp[awperm], side="right")
+        add_wpos = insw + ar
+        kept_wpos = kr + np.searchsorted(insw, kr, side="right")
+        # new flat position of every element, addressed by wire position
+        rank = np.empty(E, dtype=np.int64)
+        rank[kept_idx] = kept_newpos
+        wire_perm = np.empty(E2, dtype=np.int64)
+        wire_perm[kept_wpos] = rank[kw_flat]
+        inv_aperm = np.empty(d, dtype=np.int64)
+        inv_aperm[aperm] = ar
+        wire_perm[add_wpos] = add_newpos[inv_aperm[awperm]]
+
+        return CommSchedule._from_canonical(
+            self.machine,
+            self.dist_signature,
+            flat_q2,
+            flat_p2,
+            send2,
+            recv2,
+            wire_perm,
+            ghost_sizes,
+            costs=self.costs,
+        )
+
+    @classmethod
+    def _from_canonical(
+        cls,
+        machine: Machine,
+        dist_signature: tuple,
+        flat_q: np.ndarray,
+        flat_p: np.ndarray,
+        flat_send: np.ndarray,
+        flat_recv: np.ndarray,
+        wire_perm: np.ndarray,
+        ghost_sizes: list[int],
+        costs: ChaosCosts = DEFAULT_COSTS,
+    ) -> "CommSchedule":
+        """Construct from canonically ordered per-element arrays.
+
+        ``flat_*`` are in canonical flat order (requester-major /
+        owner-minor, key-sorted in pairs) and ``wire_perm`` maps wire
+        position -> flat position (the stable by-owner grouping).  Builds
+        every internal array ``_init_flat`` would -- pair segments,
+        pack/unpack sides, ghost positions, charge vectors -- without any
+        argsort, bit-identically to the sorted path.
+        """
+        n = machine.n_procs
+        if len(ghost_sizes) != n:
+            raise ValueError(f"expected {n} ghost sizes, got {len(ghost_sizes)}")
+        self = cls.__new__(cls)
+        self.machine = machine
+        self.dist_signature = dist_signature
+        self._send_dict = None
+        self._recv_dict = None
+        self.ghost_sizes = [int(s) for s in ghost_sizes]
+        self.costs = costs
+        ghost_sz = np.asarray(self.ghost_sizes, dtype=np.int64)
+        E = flat_q.size
+
+        pair_id = flat_p * n + flat_q
+        if E:
+            seg_starts = np.concatenate(([0], np.flatnonzero(np.diff(pair_id)) + 1))
+        else:
+            seg_starts = np.empty(0, dtype=np.int64)
+        seg_bounds = np.append(seg_starts, E)
+        self._pair_q = flat_q[seg_starts]
+        self._pair_p = flat_p[seg_starts]
+        self._pair_len = np.diff(seg_bounds)
+        self._flat_send = flat_send
+        self._flat_recv = flat_recv
+        if E:
+            bad = (flat_recv < 0) | (flat_recv >= ghost_sz[flat_p])
+            if bad.any():
+                i = int(np.flatnonzero(bad)[0])
+                raise ValueError(
+                    f"pair ({int(flat_q[i])}, {int(flat_p[i])}): recv slot out of "
+                    f"range [0, {int(ghost_sz[flat_p[i]])})"
+                )
+
+        self._pack_idx = flat_send[wire_perm]
+        self._pack_owner_rep = flat_q[wire_perm]
+        self._pack_pos = None
+        # canonical flat order is requester-sorted: recv_order would be
+        # the identity, so the unpack side is the flat arrays themselves
+        self._unpack_dst = flat_recv
+        self._unpack_src = np.empty(E, dtype=np.int64)
+        self._unpack_src[wire_perm] = np.arange(E, dtype=np.int64)
+        recv_counts = (
+            np.bincount(flat_p, minlength=n) if E else np.zeros(n, dtype=np.int64)
+        )
+        self._unpack_offsets = np.concatenate(([0], np.cumsum(recv_counts)))
+        self._unpack_procs = np.flatnonzero(recv_counts)
+        self._ghost_off = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(ghost_sz, out=self._ghost_off[1:])
+        self._unpack_pos = self._ghost_off[flat_p] + flat_recv
+        self._ghost_pos_wire = np.empty(E, dtype=np.int64)
+        self._ghost_pos_wire[self._unpack_src] = self._unpack_pos
+
+        per_pair_mem = self.costs.pack_unpack_mem * self._pair_len
+        self._pack_mem = np.zeros(n)
+        self._unpack_mem = np.zeros(n)
+        np.add.at(self._pack_mem, self._pair_q, per_pair_mem)
+        np.add.at(self._unpack_mem, self._pair_p, per_pair_mem)
+        self._n_elements = E
+        return self
 
     def _pair_dicts(self) -> tuple[dict, dict]:
         if self._send_dict is None:

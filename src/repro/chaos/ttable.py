@@ -270,9 +270,11 @@ def build_translation_table(
     "regular", "replicated", or "distributed".
     """
     if variant == "auto":
-        variant = "regular" if dist.kind != "irregular" else "distributed"
+        variant = (
+            "regular" if dist.kind not in ("irregular", "explicit") else "distributed"
+        )
     if variant == "regular":
-        if dist.kind == "irregular":
+        if dist.kind in ("irregular", "explicit"):
             raise ValueError("closed-form translation needs a regular distribution")
         return RegularTranslationTable(machine, dist, costs)
     if variant == "replicated":

@@ -136,6 +136,89 @@ class _PatternSpace:
         return localized.refs_flat + self.offsets[ref_pid]
 
 
+def _patched_space(old_space: _PatternSpace, old_ghost_off, ghosts) -> _PatternSpace:
+    """Combined space for a grown ghost layout, derived from the old one.
+
+    Retired slots are holes (positions unchanged) and appends only grow
+    per-processor ghost regions, so the new space is the old one with
+    each processor's block shifted by its ghost growth: ``offsets`` and
+    ``local_sel`` are vector increments of the saved arrays; only
+    ``ghost_sel`` (whose length changed) is re-derived.  Element-equal
+    to a freshly constructed :class:`_PatternSpace`.
+    """
+    sp = _PatternSpace.__new__(_PatternSpace)
+    new_go = ghosts.offsets
+    local_off = old_space.offsets - old_ghost_off
+    sp.offsets = local_off + new_go
+    sp.total = int(sp.offsets[-1])
+    d = new_go - old_ghost_off
+    local_sizes = np.diff(local_off)
+    rep_local = np.repeat(np.arange(local_sizes.size, dtype=np.int64), local_sizes)
+    sp.local_sel = old_space.local_sel + d[rep_local]
+    ghost_counts = np.diff(new_go)
+    rep_ghost = np.repeat(np.arange(local_sizes.size, dtype=np.int64), ghost_counts)
+    sp.ghost_sel = np.arange(int(new_go[-1]), dtype=np.int64) + local_off[1:][rep_ghost]
+    return sp
+
+
+def patch_exec_caches(
+    old_pat,
+    new_pat,
+    changed_pos: np.ndarray,
+    partition_changed: bool,
+    space: _PatternSpace | None = None,
+) -> _PatternSpace | None:
+    """Carry a pattern's cached executor arrays across an incremental patch.
+
+    The incremental inspector (``repro.adapt``) preserves every
+    untouched localized reference and keeps retired ghost slots in place,
+    so a patched pattern's ``exec_space``/``exec_refs`` differ from the
+    saved ones only at the patch's delta positions (plus a per-processor
+    offset shift when slots were appended).  This updates exactly those
+    positions instead of dropping the caches and rebuilding O(refs)
+    arrays at the next execution:
+
+    * unchanged ghost layout -- the space object is reused outright;
+      grown layout -- it is shift-patched (:func:`_patched_space`);
+    * ``exec_refs`` is carried whenever the iteration partition is
+      unchanged: offset-shifted per processor if the layout grew, then
+      overwritten at ``changed_pos`` from the new localized values;
+      a changed partition permutes reference order globally, so refs are
+      left to the executor's lazy rebuild (the space still carries).
+
+    ``space`` shares one patched space among coalesced members of a
+    group; the return value is that shared space (``None`` when nothing
+    was cached).  Host-level only: never charges the machine, and the
+    executor produces bit-identical results and charges either way.
+    """
+    old_space = old_pat.exec_space
+    if old_space is None and space is None:
+        return None
+    old_off = old_pat.ghosts.offsets
+    new_off = new_pat.ghosts.offsets
+    same_layout = np.array_equal(new_off, old_off)
+    if space is None:
+        space = old_space if same_layout else _patched_space(
+            old_space, old_off, new_pat.ghosts
+        )
+    new_pat.exec_space = space
+    refs_old = old_pat.exec_refs
+    if refs_old is None or partition_changed:
+        return space
+    if same_layout:
+        refs = refs_old if not changed_pos.size else refs_old.copy()
+    else:
+        bounds = np.asarray(new_pat.localized.ref_bounds, dtype=np.int64)
+        doff = (new_off - old_off)[:-1]
+        refs = refs_old + np.repeat(doff, np.diff(bounds))
+    if changed_pos.size:
+        bounds = np.asarray(new_pat.localized.ref_bounds, dtype=np.int64)
+        pid = np.searchsorted(bounds, changed_pos, side="right") - 1
+        refs[changed_pos] = new_pat.localized.refs_flat[changed_pos] + space.offsets[pid]
+    new_pat.exec_refs = refs
+    return space
+
+
 def _verify_gathers(machine, product, arrays, gather_items, guard_log) -> None:
     """Content-check every gather; repair divergences with an uncharged
     re-gather (fault injection suspended so the repair is clean)."""

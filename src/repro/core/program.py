@@ -28,11 +28,12 @@ whatever the caller arranges manually.
 from __future__ import annotations
 
 import os
+import time
 
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
-from repro.chaos.remap import remap_arrays
+from repro.chaos.remap import remap_arrays, remap_arrays_incremental
 from repro.core.dad import DAD
 from repro.core.forall import ForallLoop
 from repro.core.geocol import GeoCoL, construct_geocol
@@ -45,7 +46,7 @@ from repro.core.timestamps import ModificationRegistry, ranges_from_positions
 from repro.distribution.base import Distribution
 from repro.distribution.decomposition import Decomposition
 from repro.distribution.distarray import DistArray
-from repro.distribution.irregular import IrregularDistribution
+from repro.distribution.irregular import IrregularDistribution, repartition_stable
 from repro.distribution.regular import (
     BlockCyclicDistribution,
     BlockDistribution,
@@ -160,6 +161,10 @@ class IrregularProgram:
         self.reuse_hits = 0
         self.patch_hits = 0
         self.geocol_reuse_hits = 0
+        #: cumulative host wall seconds spent in ``_inspect`` (reuse
+        #: check + diff/patch or full inspection) -- *not* simulated
+        #: time; adaptive benches compare patch vs full-inspect wall
+        self.inspect_wall = 0.0
 
     # ------------------------------------------------------------------
     # Fortran D data declarations
@@ -404,13 +409,43 @@ class IrregularProgram:
         self._last_partition_result = result
         return dist
 
-    def redistribute(self, decomp: str, fmt) -> None:
+    def redistribute(self, decomp: str, fmt=None, *, moved=None) -> None:
         """REDISTRIBUTE decomp(fmt): remap every aligned array.
 
         ``fmt`` is a name stored by :meth:`set_distribution` or a
-        Distribution instance.
+        Distribution instance.  Alternatively pass ``moved=(gidx,
+        to_proc)`` -- an element-move delta, as a load balancer emits --
+        and the new distribution is derived with
+        :func:`~repro.distribution.irregular.repartition_stable` and the
+        arrays remapped through a **patched** schedule whose cost is
+        proportional to the number of elements that move, not the array
+        size (the mapper/coupler epoch loop of the paper's Table 2).
         """
         dec = self._decomp(decomp)
+        if moved is not None:
+            if fmt is not None:
+                raise ValueError("pass either fmt or moved=, not both")
+            if dec.distribution is None:
+                raise ValueError(
+                    f"decomposition {decomp!r} is not distributed yet"
+                )
+            move_g, move_to = moved
+            new_dist, plan = repartition_stable(
+                dec.distribution, move_g, move_to
+            )
+            with self.machine.phase("remap"):
+                if dec.arrays:
+                    remap_arrays_incremental(
+                        dec.arrays, new_dist, plan, self.costs
+                    )
+                dec.distribution = new_dist
+            if self.track:
+                for arr in dec.arrays:
+                    self.registry.record_remap(DAD.of(arr))
+                self.machine.charge_compute_all(
+                    iops=RECORD_WRITE_IOPS * max(len(dec.arrays), 1)
+                )
+            return
         new_dist = (
             self.distfmts[fmt]
             if isinstance(fmt, str) and fmt in self.distfmts
@@ -471,6 +506,21 @@ class IrregularProgram:
                 )
 
     def _inspect(self, loop: ForallLoop, reuse: bool):
+        """Reuse-checked inspection, with host-wall accounting.
+
+        The wall clock around the whole decision -- reuse check, diff +
+        patch, or full inspection -- accumulates into
+        ``inspect_wall``; the adaptive bench reads per-step deltas to
+        compare *patch wall* against *full re-inspection wall* (the
+        simulated charges are tracked separately by the machine phases).
+        """
+        t0 = time.perf_counter()
+        try:
+            return self._inspect_impl(loop, reuse)
+        finally:
+            self.inspect_wall += time.perf_counter() - t0
+
+    def _inspect_impl(self, loop: ForallLoop, reuse: bool):
         record = self.records.get(loop.name)
         if reuse and record is not None:
             if self.track:

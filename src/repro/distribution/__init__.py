@@ -21,7 +21,12 @@ from repro.distribution.regular import (
     CyclicDistribution,
     BlockCyclicDistribution,
 )
-from repro.distribution.irregular import IrregularDistribution
+from repro.distribution.irregular import (
+    ExplicitDistribution,
+    IrregularDistribution,
+    RebalancePlan,
+    repartition_stable,
+)
 from repro.distribution.decomposition import Decomposition
 from repro.distribution.distarray import DistArray
 
@@ -31,6 +36,9 @@ __all__ = [
     "CyclicDistribution",
     "BlockCyclicDistribution",
     "IrregularDistribution",
+    "ExplicitDistribution",
+    "RebalancePlan",
+    "repartition_stable",
     "Decomposition",
     "DistArray",
 ]

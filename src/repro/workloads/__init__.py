@@ -54,6 +54,12 @@ from repro.workloads.adaptive import (
     build_refinement_schedule,
     refine_edges,
 )
+from repro.workloads.rebalance import (
+    drifting_weights,
+    rebalance_moves,
+    run_rebalance_campaign,
+    setup_rebalance_program,
+)
 
 
 @dataclass(frozen=True)
@@ -117,6 +123,10 @@ __all__ = [
     "apply_adaptation",
     "build_refinement_schedule",
     "refine_edges",
+    "drifting_weights",
+    "rebalance_moves",
+    "run_rebalance_campaign",
+    "setup_rebalance_program",
     "ScaleConfig",
     "scale_config",
 ]

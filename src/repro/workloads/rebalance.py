@@ -1,0 +1,142 @@
+"""Load-imbalance-driven repartitioning scenario (Table 2's epoch loop).
+
+The paper's mapper/coupler story: an adaptive computation's per-node
+work drifts over time (a shock or refinement front concentrates work),
+the load balancer responds by migrating a *small* set of elements
+between processors, and every distributed array is remapped before the
+sweep continues.  Rebuilding the remap schedule from scratch costs
+O(N) per epoch even when only a handful of elements actually move;
+:func:`repro.distribution.irregular.repartition_stable` plus
+``redistribute(..., moved=...)`` makes the remap cost proportional to
+the migration delta instead.
+
+:func:`drifting_weights` produces the deterministic per-epoch work
+model (a Gaussian hotspot whose center walks across the domain);
+:func:`rebalance_moves` is the greedy balancer turning a weighted
+distribution into an element-move list; :func:`run_rebalance_campaign`
+drives the full epoch loop in either full-rebuild or incremental mode.
+Both modes land on bit-identical distributions and array contents --
+only the simulated remap charges differ.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.distribution.base import Distribution
+from repro.distribution.irregular import repartition_stable
+from repro.machine.machine import Machine
+from repro.workloads.euler import euler_edge_loop, setup_euler_program
+from repro.workloads.mesh import UnstructuredMesh
+
+
+def drifting_weights(
+    mesh: UnstructuredMesh, epoch: int, seed: int = 0, amplitude: float = 8.0
+) -> np.ndarray:
+    """Per-node work weights with a hotspot that drifts each epoch.
+
+    Weight is ``1 + amplitude * exp(-(d/r)^2)`` where ``d`` is the
+    distance to the epoch's hotspot center -- a new deterministic
+    center per epoch, modeling a feature moving through the domain.
+    Independent of any distribution, so both campaign modes see the
+    identical load signal.
+    """
+    rng = np.random.default_rng(seed)
+    centers = rng.integers(0, mesh.n_nodes, size=epoch + 1)
+    center = mesh.coords[:, centers[epoch]]
+    d = np.linalg.norm(mesh.coords - center[:, None], axis=0)
+    radius = 0.25 * (d.max() + 1e-12)
+    return 1.0 + amplitude * np.exp(-((d / radius) ** 2))
+
+
+def rebalance_moves(
+    dist: Distribution, weights, slack: float = 0.05
+) -> tuple[np.ndarray, np.ndarray]:
+    """Greedy element migration restoring load balance within ``slack``.
+
+    Overloaded processors (load above ``mean * (1 + slack)``) shed their
+    heaviest elements, one at a time, to the currently lightest
+    processor -- the classic greedy repartitioner.  Fully deterministic:
+    donors are visited heaviest-first, elements shed by descending
+    weight with global index as tie-break.  Returns ``(move_g,
+    move_to)`` ready for ``redistribute(..., moved=...)``; the move
+    count scales with the *imbalance*, not the mesh size.
+    """
+    w = np.asarray(weights, dtype=np.float64)
+    n = dist.n_procs
+    if w.shape != (dist.size,):
+        raise ValueError(f"expected {dist.size} weights, got shape {w.shape}")
+    g_all = np.arange(dist.size, dtype=np.int64)
+    owner = np.asarray(dist.owner(g_all), dtype=np.int64)
+    loads = np.bincount(owner, weights=w, minlength=n).astype(np.float64)
+    target = loads.sum() / n
+    hi = target * (1.0 + slack)
+    move_g: list[int] = []
+    move_to: list[int] = []
+    donors = np.flatnonzero(loads > hi)
+    for p in donors[np.argsort(-loads[donors], kind="stable")]:
+        mine = np.flatnonzero(owner == p)
+        shed_order = mine[np.lexsort((mine, -w[mine]))]
+        for g in shed_order:
+            if loads[p] <= hi:
+                break
+            q = int(np.argmin(loads))
+            if q == p or loads[q] + w[g] >= loads[p] - w[g]:
+                break  # no receiver this move would actually help
+            move_g.append(int(g))
+            move_to.append(q)
+            loads[p] -= w[g]
+            loads[q] += w[g]
+    return (
+        np.asarray(move_g, dtype=np.int64),
+        np.asarray(move_to, dtype=np.int64),
+    )
+
+
+def setup_rebalance_program(machine: Machine, mesh: UnstructuredMesh, seed: int = 0, **kwargs):
+    """Euler program partitioned by RCB: the campaign's starting state."""
+    prog = setup_euler_program(machine, mesh, seed=seed, **kwargs)
+    prog.construct("G", mesh.n_nodes, geometry=["xc", "yc", "zc"][: mesh.ndim])
+    prog.set_distribution("fmt", "G", "RCB")
+    prog.redistribute("reg", "fmt")
+    return prog
+
+
+def run_rebalance_campaign(
+    mesh: UnstructuredMesh,
+    n_procs: int,
+    epochs: int,
+    sweeps: int = 1,
+    incremental: bool = True,
+    seed: int = 0,
+    slack: float = 0.05,
+    **program_kwargs,
+):
+    """Drive ``epochs`` rebalance/remap/sweep rounds.
+
+    ``incremental=False`` builds each epoch's remap schedule from
+    scratch over every element (``build_remap_schedule``'s O(N) path);
+    ``incremental=True`` derives it from the move delta
+    (:func:`~repro.chaos.remap.patch_remap_schedule`).  Both modes apply
+    the *same* ``repartition_stable``-produced distribution, so machine
+    state outside the remap phase and every array's contents are
+    bit-identical between them.  Returns ``(machine, program,
+    moves_per_epoch)``.
+    """
+    machine = Machine(n_procs)
+    prog = setup_rebalance_program(machine, mesh, seed=seed, **program_kwargs)
+    loop = euler_edge_loop(mesh)
+    prog.forall(loop, n_times=sweeps)
+    moves_per_epoch: list[int] = []
+    for epoch in range(epochs):
+        w = drifting_weights(mesh, epoch, seed=seed)
+        dist = prog.decomps["reg"].distribution
+        move_g, move_to = rebalance_moves(dist, w, slack=slack)
+        moves_per_epoch.append(int(move_g.size))
+        if incremental:
+            prog.redistribute("reg", moved=(move_g, move_to))
+        else:
+            new_dist, _ = repartition_stable(dist, move_g, move_to)
+            prog.redistribute("reg", new_dist)
+        prog.forall(loop, n_times=sweeps)
+    return machine, prog, moves_per_epoch

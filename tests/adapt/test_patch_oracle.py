@@ -200,6 +200,69 @@ def test_patch_oracle_randomized(n_procs, coalesce):
         )
 
 
+@pytest.mark.parametrize("n_procs", [2, 4])
+def test_patched_exec_caches_match_fresh(n_procs):
+    """The executor caches carried across a patch (``patch_exec_caches``)
+    must be element-equal to caches built from scratch off the patched
+    product -- and the executor must produce bit-identical results and
+    simulated charges either way."""
+    from repro.core.executor import _PatternSpace
+
+    mesh = generate_mesh(350, seed=13)
+    rng = np.random.default_rng(77 + n_procs)
+    m_a, prog_a = build_program(mesh, True, n_procs, True)
+    loop = euler_edge_loop(mesh)
+    edges = mesh.edges.copy()
+    prog_a.forall(loop, n_times=1)
+
+    for epoch in range(3):
+        edges, pick = mutate(edges, mesh.n_nodes, rng, fraction=0.04)
+        prog_a.set_array_elements("end_pt1", pick, edges[0, pick])
+        prog_a.set_array_elements("end_pt2", pick, edges[1, pick])
+        prog_a.forall(loop, n_times=1)
+        assert prog_a.patch_hits == epoch + 1
+
+        prod = prog_a.records[loop.name].product
+        iter_flat, iter_bounds = prod.iteration_partition.iters_flat()
+        ref_pid = np.repeat(
+            np.arange(n_procs, dtype=np.int64), np.diff(iter_bounds)
+        )
+        for key, pat in prod.patterns.items():
+            if pat.exec_space is None:
+                continue
+            fresh = _PatternSpace(pat.localized, pat.ghosts)
+            assert np.array_equal(pat.exec_space.offsets, fresh.offsets), key
+            assert np.array_equal(pat.exec_space.local_sel, fresh.local_sel), key
+            assert np.array_equal(pat.exec_space.ghost_sel, fresh.ghost_sel), key
+            assert pat.exec_space.total == fresh.total, key
+            if pat.exec_refs is not None:
+                assert np.array_equal(
+                    pat.exec_refs, fresh.refs(pat.localized, ref_pid)
+                ), key
+
+        # dropping the carried caches and re-executing from scratch gives
+        # bit-identical results and identical simulated executor charges
+        y_carried = prog_a.arrays["y"].to_global().copy()
+        e0 = m_a.phase_time("executor")
+        prog_a.forall(loop, n_times=1)
+        e_carried = m_a.phase_time("executor") - e0
+        y_after_carried = prog_a.arrays["y"].to_global().copy()
+        for pat in prod.patterns.values():
+            pat.exec_space = None
+            pat.exec_refs = None
+        prog_a.arrays["y"].set_global(y_carried)
+        prog_a.machine.charge_compute_all(
+            mem=prog_a.arrays["y"].distribution.local_sizes().astype(np.float64)
+        )
+        e1 = m_a.phase_time("executor")
+        prog_a.forall(loop, n_times=1)
+        e_fresh = m_a.phase_time("executor") - e1
+        assert np.array_equal(
+            prog_a.arrays["y"].to_global(), y_after_carried
+        )
+        assert np.isclose(e_carried, e_fresh, rtol=1e-12, atol=0.0)
+
+
 def test_owner_computes_partition_method_respected():
     """Regression: re-voting must use the product's partition method --
     under owner_computes a patched partition must equal a fresh one."""

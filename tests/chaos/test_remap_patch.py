@@ -1,0 +1,116 @@
+"""Patched remap schedules: delta-built, bit-identical to full rebuild."""
+
+import numpy as np
+import pytest
+
+from repro.chaos.remap import (
+    build_remap_schedule,
+    patch_remap_schedule,
+    remap_arrays,
+    remap_arrays_incremental,
+)
+from repro.distribution import DistArray, IrregularDistribution, repartition_stable
+from repro.distribution.irregular import RebalancePlan
+from repro.machine import Machine
+
+N, P = 80, 4
+
+
+def make(seed=0):
+    rng = np.random.default_rng(seed)
+    dist = IrregularDistribution(rng.integers(0, P, size=N), P)
+    k = 12
+    move_g = np.sort(rng.choice(N, size=k, replace=False))
+    move_to = rng.integers(0, P, size=k)
+    new_dist, plan = repartition_stable(dist, move_g, move_to)
+    return rng, dist, new_dist, plan
+
+
+class TestPatchedRemapOracle:
+    def test_array_content_matches_full_rebuild(self):
+        rng, dist, new_dist, plan = make(3)
+        vals = rng.normal(size=N)
+        m_full, m_inc = Machine(P), Machine(P)
+        a_full = DistArray.from_global(m_full, dist, vals)
+        a_inc = DistArray.from_global(m_inc, dist, vals)
+        remap_arrays([a_full], new_dist)
+        remap_arrays_incremental([a_inc], new_dist, plan)
+        assert np.array_equal(a_full.to_global(), a_inc.to_global())
+        # identical layouts all the way down to flat backing positions
+        assert np.array_equal(a_full.backing_ro, a_inc.backing_ro)
+
+    def test_patched_build_charges_less_than_full(self):
+        rng, dist, new_dist, plan = make(4)
+        m_full, m_inc = Machine(P), Machine(P)
+        build_remap_schedule(m_full, dist, new_dist)
+        patch_remap_schedule(m_inc, dist, new_dist, plan)
+        assert m_inc.elapsed() < m_full.elapsed()
+
+    def test_carry_is_free_apply_charges_scale_with_delta(self):
+        rng, dist, new_dist, plan = make(5)
+        vals = rng.normal(size=N)
+        m_full, m_inc = Machine(P), Machine(P)
+        a_full = DistArray.from_global(m_full, dist, vals)
+        a_inc = DistArray.from_global(m_inc, dist, vals)
+        s_full = build_remap_schedule(m_full, dist, new_dist)
+        s_inc = patch_remap_schedule(m_inc, dist, new_dist, plan)
+        c_full, c_inc = m_full.elapsed(), m_inc.elapsed()
+        s_full.apply(a_full)
+        s_inc.apply(a_inc)
+        # full apply pays pack/unpack for all N elements; patched apply
+        # only for moved + repacked -- carried elements never leave
+        # their slots, so they cost nothing
+        touched = plan.moved.size + plan.repacked.size
+        assert touched < N
+        assert int(s_inc.pair_counts.sum()) == touched
+        assert int(s_full.pair_counts.sum()) == N
+        assert m_inc.elapsed() - c_inc < m_full.elapsed() - c_full
+
+    def test_moved_element_count_matches_plan(self):
+        _, dist, new_dist, plan = make(6)
+        m = Machine(P)
+        sched = patch_remap_schedule(m, dist, new_dist, plan)
+        assert sched.element_count() == plan.moved.size
+
+    def test_empty_delta_moves_nothing(self):
+        rng = np.random.default_rng(7)
+        dist = IrregularDistribution(rng.integers(0, P, size=N), P)
+        new_dist, plan = repartition_stable(dist, [], [])
+        m = Machine(P)
+        vals = rng.normal(size=N)
+        arr = DistArray.from_global(m, dist, vals)
+        sched = patch_remap_schedule(m, dist, new_dist, plan)
+        sched.apply(arr)
+        assert sched.element_count() == 0
+        assert np.array_equal(arr.to_global(), vals)
+
+    def test_rejects_repacked_that_changes_processor(self):
+        _, dist, new_dist, plan = make(8)
+        assert plan.moved.size
+        bogus = RebalancePlan(
+            moved=plan.moved[:-1], repacked=plan.moved[-1:]
+        )
+        m = Machine(P)
+        with pytest.raises(ValueError, match="keep their processor"):
+            patch_remap_schedule(m, dist, new_dist, bogus)
+
+    def test_stale_schedule_rejected(self):
+        rng, dist, new_dist, plan = make(9)
+        m = Machine(P)
+        arr = DistArray.from_global(m, new_dist, rng.normal(size=N))
+        sched = patch_remap_schedule(m, dist, new_dist, plan)
+        with pytest.raises(ValueError, match="stale"):
+            sched.apply(arr)
+
+    def test_shared_schedule_across_arrays(self):
+        rng, dist, new_dist, plan = make(10)
+        m = Machine(P)
+        vals = [rng.normal(size=N) for _ in range(3)]
+        arrs = [
+            DistArray.from_global(m, dist, v, name=f"a{i}")
+            for i, v in enumerate(vals)
+        ]
+        remap_arrays_incremental(arrs, new_dist, plan)
+        for arr, v in zip(arrs, vals):
+            assert np.array_equal(arr.to_global(), v)
+            assert arr.distribution is new_dist

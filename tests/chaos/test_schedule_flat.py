@@ -193,3 +193,93 @@ def test_empty_and_self_pairs():
     assert clocks(m_flat) == clocks(m_ref)
     # the empty pair must not produce a message
     assert m_flat.procs[1].stats.messages_sent == 0
+
+
+def small_schedule(seed=21):
+    rng = np.random.default_rng(seed)
+    machine, arr, min_local = make_world(4, 40, seed)
+    send, recv, gsizes = random_schedule_parts(rng, 4, min_local)
+    return CommSchedule(machine, arr.distribution.signature(), send, recv, gsizes)
+
+
+class TestEntriesImmutability:
+    """Writing through entries() views must raise, not corrupt."""
+
+    def test_all_four_views_are_readonly(self):
+        sched = small_schedule()
+        q, p, send, recv = sched.entries()
+        assert q.size  # a trivially empty schedule would prove nothing
+        for view in (q, p, send, recv):
+            assert not view.flags.writeable
+            with pytest.raises(ValueError, match="read-only"):
+                view[0] = 99
+
+    def test_send_recv_are_views_not_copies(self):
+        # zero-copy is the point of the flat layout: entries() must not
+        # silently duplicate the arrays to get safety
+        sched = small_schedule()
+        _, _, send, recv = sched.entries()
+        assert send.base is sched._flat_send
+        assert recv.base is sched._flat_recv
+
+
+class TestPatchedValidation:
+    """patched() must reject malformed inputs before building any state."""
+
+    def test_mismatched_add_lengths_raise(self):
+        sched = small_schedule()
+        n = sched.entry_count() if hasattr(sched, "entry_count") else sched._n_elements
+        keep = np.ones(n, dtype=bool)
+        two = np.zeros(2, dtype=np.int64)
+        three = np.zeros(3, dtype=np.int64)
+        with pytest.raises(ValueError, match="same length"):
+            sched.patched(keep, two, two, two, three, sched.ghost_sizes)
+        with pytest.raises(ValueError, match="same length"):
+            sched.patched(keep, two, three, two, two, sched.ghost_sizes)
+        with pytest.raises(ValueError, match="same length"):
+            sched.patched(
+                keep, two, two, two, two, sched.ghost_sizes, add_key=three
+            )
+
+    def test_scalar_add_arrays_raise(self):
+        sched = small_schedule()
+        keep = np.ones(sched._n_elements, dtype=bool)
+        with pytest.raises(ValueError, match="1-D"):
+            sched.patched(keep, 1, 1, 1, 1, sched.ghost_sizes)
+
+    def test_bad_keep_shape_raises(self):
+        sched = small_schedule()
+        empty = np.zeros(0, dtype=np.int64)
+        with pytest.raises(ValueError, match="keep mask"):
+            sched.patched(
+                np.ones(sched._n_elements + 1, dtype=bool),
+                empty, empty, empty, empty, sched.ghost_sizes,
+            )
+
+    def test_schedule_untouched_after_rejected_patch(self):
+        sched = small_schedule()
+        before = [a.copy() for a in (sched._flat_send, sched._flat_recv)]
+        two = np.zeros(2, dtype=np.int64)
+        three = np.zeros(3, dtype=np.int64)
+        with pytest.raises(ValueError):
+            sched.patched(
+                np.ones(sched._n_elements, dtype=bool),
+                two, two, two, three, sched.ghost_sizes,
+            )
+        assert np.array_equal(sched._flat_send, before[0])
+        assert np.array_equal(sched._flat_recv, before[1])
+
+
+class TestTwin:
+    def test_twin_shares_arrays_under_distinct_identity(self):
+        sched = small_schedule()
+        tw = sched.twin()
+        assert tw is not sched
+        assert tw._flat_send is sched._flat_send
+        assert tw._flat_recv is sched._flat_recv
+        assert tw._pair_q is sched._pair_q
+        assert tw.ghost_sizes == sched.ghost_sizes
+        a = sched.entries()
+        b = tw.entries()
+        for x, y in zip(a, b):
+            np.testing.assert_array_equal(x, y)
