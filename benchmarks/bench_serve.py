@@ -1,0 +1,183 @@
+"""Service-layer throughput and fault-tolerance overhead.
+
+Measures what the `repro.serve` layer adds on top of raw simulation:
+
+* **cold**: submit -> done wall time of one simulation per scenario
+  through the full service path (queue, worker subprocess, result
+  cache write);
+* **warm**: the same config resubmitted -- a content-addressed cache
+  hit, no simulation;
+* **coalesced**: N concurrent duplicate submissions -- one simulation
+  shared by all callers;
+* **crash overhead**: the same job killed mid-run and resumed from its
+  checkpoint vs. undisturbed, as a wall-time ratio (the price of one
+  crash, dominated by worker restart + checkpoint restore).
+
+Simulated numbers are asserted bit-identical between the disturbed and
+undisturbed runs -- this bench doubles as a soak of the resume path at
+a scale the unit tests do not reach.  Writes
+``benchmarks/out/BENCH_serve.json``.
+
+Run standalone (``python benchmarks/bench_serve.py [--tiny]``) or under
+pytest (``pytest -s benchmarks/bench_serve.py``).
+"""
+
+import argparse
+import json
+import os
+import sys
+import time
+
+OUT_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "out")
+JSON_PATH = os.path.join(OUT_DIR, "BENCH_serve.json")
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src")
+)
+
+from repro.serve import JobConfig, SimulationService  # noqa: E402
+from repro.serve.jobs import bit_identity  # noqa: E402
+
+SCENARIOS = ("sweep", "adapt", "rebalance")
+
+
+def _configs(n_nodes: int, steps: int) -> dict:
+    return {
+        s: JobConfig(
+            scenario=s,
+            n_nodes=n_nodes,
+            n_procs=8,
+            steps=steps,
+            checkpoint_every=2,
+            adapt_every=2,
+            seed=42,
+        )
+        for s in SCENARIOS
+    }
+
+
+def run_bench(n_nodes: int = 2000, steps: int = 8, workers: int = 2) -> dict:
+    rows = {}
+    with SimulationService(workers=workers, backoff_base=0.01, seed=0) as svc:
+        for scenario, cfg in _configs(n_nodes, steps).items():
+            t0 = time.perf_counter()
+            cold_result = svc.submit(cfg).wait(timeout=1200)
+            cold = time.perf_counter() - t0
+
+            t0 = time.perf_counter()
+            warm_job = svc.submit(cfg)
+            warm_result = warm_job.wait(timeout=60)
+            warm = time.perf_counter() - t0
+            assert warm_job.done and bit_identity(warm_result) == bit_identity(
+                cold_result
+            )
+
+            rows[scenario] = {
+                "cold_seconds": round(cold, 4),
+                "warm_seconds": round(warm, 4),
+                "warm_speedup": round(cold / max(warm, 1e-9), 1),
+                "simulated_total": cold_result["simulated_total"],
+            }
+
+        # coalescing: duplicates of one in-flight job cost no extra work
+        dup_cfg = _configs(n_nodes, steps)["adapt"]
+        dup_cfg = JobConfig(**{**dup_cfg.simulated_fields(), "seed": 43})
+        t0 = time.perf_counter()
+        jobs = [svc.submit(dup_cfg) for _ in range(6)]
+        jobs[0].wait(timeout=1200)
+        coalesce_seconds = time.perf_counter() - t0
+        assert all(j is jobs[0] for j in jobs[1:])
+        completed_before = svc.health()["counts"]["completed"]
+
+    # crash + resume overhead, on a fresh service/cache
+    base_cfg = JobConfig(
+        scenario="adapt", n_nodes=n_nodes, n_procs=8, steps=steps,
+        checkpoint_every=2, seed=7,
+    )
+    crash_cfg = JobConfig(
+        **{**base_cfg.simulated_fields()},
+        crash_at_step=max(1, steps // 2),
+    )
+    with SimulationService(workers=1, backoff_base=0.01, seed=0) as svc:
+        t0 = time.perf_counter()
+        clean = svc.submit(base_cfg).wait(timeout=1200)
+        undisturbed = time.perf_counter() - t0
+    with SimulationService(workers=1, backoff_base=0.01, seed=0) as svc:
+        t0 = time.perf_counter()
+        crashed = svc.submit(crash_cfg).wait(timeout=1200)
+        disturbed = time.perf_counter() - t0
+    assert crashed["resumed"], "crash job never resumed"
+    assert bit_identity(crashed) == bit_identity(clean), (
+        "crash+resume changed simulated results"
+    )
+
+    return {
+        "bench": "serve",
+        "n_nodes": n_nodes,
+        "steps": steps,
+        "workers": workers,
+        "scenarios": rows,
+        "coalescing": {
+            "duplicates": 6,
+            "wall_seconds": round(coalesce_seconds, 4),
+            "simulations_run": completed_before
+            - len(SCENARIOS) * 2,  # cold+warm per scenario already counted
+        },
+        "crash_resume": {
+            "undisturbed_seconds": round(undisturbed, 4),
+            "crashed_seconds": round(disturbed, 4),
+            "overhead_ratio": round(disturbed / max(undisturbed, 1e-9), 2),
+            "bit_identical": True,
+        },
+    }
+
+
+def render(report: dict) -> str:
+    lines = [
+        f"serve bench (n_nodes={report['n_nodes']}, steps={report['steps']}, "
+        f"workers={report['workers']})",
+        f"{'scenario':<12}{'cold s':>10}{'warm s':>10}{'speedup':>10}",
+    ]
+    for s, r in report["scenarios"].items():
+        lines.append(
+            f"{s:<12}{r['cold_seconds']:>10.3f}{r['warm_seconds']:>10.4f}"
+            f"{r['warm_speedup']:>9.0f}x"
+        )
+    cr = report["crash_resume"]
+    lines.append(
+        f"crash+resume overhead: {cr['crashed_seconds']:.3f}s vs "
+        f"{cr['undisturbed_seconds']:.3f}s undisturbed "
+        f"({cr['overhead_ratio']:.2f}x), bit-identical"
+    )
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tiny", action="store_true", help="CI smoke scale")
+    parser.add_argument("--nodes", type=int, default=2000)
+    parser.add_argument("--steps", type=int, default=8)
+    args = parser.parse_args(argv)
+    n_nodes = 400 if args.tiny else args.nodes
+    steps = 6 if args.tiny else args.steps
+    report = run_bench(n_nodes=n_nodes, steps=steps)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(JSON_PATH, "w") as f:
+        json.dump(report, f, indent=2, sort_keys=True)
+    print(render(report))
+    print(f"[written to {JSON_PATH}]")
+    return 0
+
+
+def test_serve_bench(report):
+    rep = run_bench(n_nodes=400, steps=6)
+    os.makedirs(OUT_DIR, exist_ok=True)
+    with open(JSON_PATH, "w") as f:
+        json.dump(rep, f, indent=2, sort_keys=True)
+    report("BENCH_serve", render(rep))
+    # the service layer must actually help: warm hits are far cheaper
+    assert all(r["warm_speedup"] > 5 for r in rep["scenarios"].values())
+
+
+if __name__ == "__main__":
+    sys.exit(main())

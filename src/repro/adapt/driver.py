@@ -307,6 +307,10 @@ class AdaptiveExecutor:
         self.program = program
         self.loop = loop
         self.history: list[dict] = []
+        #: set by :meth:`resume`: ``"primary"`` normally, ``"prev"`` when
+        #: the primary checkpoint was damaged and the rotated ``.prev``
+        #: generation was restored instead (a degraded-but-safe resume)
+        self.resumed_from: str | None = None
 
     def step(self) -> str:
         prog = self.program
@@ -386,11 +390,38 @@ class AdaptiveExecutor:
         re-bound rather than serialized).  The restored executor's next
         :meth:`step` produces the same simulated numbers the
         uninterrupted run would have.
+
+        When the primary file fails its CRC (or is otherwise unreadable)
+        and a rotated ``<path>.prev`` generation exists, the resume
+        falls back to it -- a kill mid-write or later disk corruption
+        costs at most one checkpoint interval, never the campaign.  The
+        executor records which generation it came from in
+        ``resumed_from`` (``"primary"`` or ``"prev"``).
         """
-        from repro.guard.checkpoint import restore_checkpoint
+        import os
+
+        from repro.guard.checkpoint import (
+            load_checkpoint,
+            previous_checkpoint_path,
+            restore_checkpoint,
+        )
+        from repro.guard.errors import CheckpointError
 
         exe = cls(program, loop)
+        source = "primary"
+        try:
+            # validate the envelope before any program state is touched:
+            # a damaged primary must be able to fall back cleanly
+            load_checkpoint(path)
+        except CheckpointError:
+            prev = previous_checkpoint_path(path)
+            if not os.path.exists(prev):
+                raise
+            load_checkpoint(prev)  # damaged too -> CheckpointError, no fallback
+            path = prev
+            source = "prev"
         restore_checkpoint(path, program, {loop.name: loop}, driver=exe)
+        exe.resumed_from = source
         return exe
 
     def mode_counts(self) -> dict[str, int]:

@@ -151,7 +151,20 @@ class RemapSchedule:
                     arr.distribution.flat_offsets()[self.carry_p] + self.carry_index
                 )
             new_data[self._carry_dst_pos] = arr.backing_ro[self._carry_src_pos]
-        new_data[self._dst_pos] = arr.backing_ro[self._src_pos]
+        wire = arr.backing_ro[self._src_pos]
+        keep = None
+        if m.faults is not None:
+            # fault injection hook: may corrupt/duplicate moved elements
+            # (returns a perturbed copy) or drop some (keep mask); the
+            # charged message volume below is untouched either way
+            wire, keep = m.faults.on_remap_wire(wire)
+        if keep is None:
+            new_data[self._dst_pos] = wire
+        else:
+            # dropped moves never arrive: their destination slots keep
+            # the allocation's stale (zero) fill
+            new_data[self._dst_pos[~keep]] = 0
+            new_data[self._dst_pos[keep]] = wire[keep]
 
         pack_w = costs.pack_unpack_mem * self.pair_counts
         pack = np.bincount(self.pair_p, weights=pack_w, minlength=n)
@@ -290,7 +303,7 @@ def patch_remap_schedule(
         nbytes=pair_counts[cross] * 2 * costs.index_bytes,
     )
     machine.barrier()
-    return RemapSchedule(
+    sched = RemapSchedule(
         machine,
         old_dist.signature(),
         new_dist,
@@ -302,6 +315,11 @@ def patch_remap_schedule(
         carry_p=carry_p,
         carry_index=carry_index,
     )
+    if machine.faults is not None:
+        # fault injection hook: may desynchronize the patched schedule's
+        # destination map (the remap analogue of flip_slots)
+        machine.faults.on_patched_remap(sched)
+    return sched
 
 
 def remap_arrays_incremental(

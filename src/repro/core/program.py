@@ -422,6 +422,15 @@ class IrregularProgram:
         size (the mapper/coupler epoch loop of the paper's Table 2).
         """
         dec = self._decomp(decomp)
+        # remap content verification: at guard "full" always, and at any
+        # level while faults are being injected (mirrors the post-gather
+        # check).  host-level -- charges nothing.
+        verify = dec.arrays and (
+            self.machine.faults is not None or self.guard == "full"
+        )
+        before = (
+            {arr.name: arr.to_global() for arr in dec.arrays} if verify else None
+        )
         if moved is not None:
             if fmt is not None:
                 raise ValueError("pass either fmt or moved=, not both")
@@ -439,6 +448,8 @@ class IrregularProgram:
                         dec.arrays, new_dist, plan, self.costs
                     )
                 dec.distribution = new_dist
+            if verify:
+                self._verify_remap(dec.arrays, before)
             if self.track:
                 for arr in dec.arrays:
                     self.registry.record_remap(DAD.of(arr))
@@ -460,12 +471,55 @@ class IrregularProgram:
             if dec.arrays:
                 remap_arrays(dec.arrays, new_dist, self.costs)
             dec.distribution = new_dist
+        if verify:
+            self._verify_remap(dec.arrays, before)
         if self.track:
             for arr in dec.arrays:
                 self.registry.record_remap(DAD.of(arr))
             self.machine.charge_compute_all(
                 iops=RECORD_WRITE_IOPS * max(len(dec.arrays), 1)
             )
+
+    def _verify_remap(self, arrays, before: dict) -> None:
+        """Content-check a redistribution; repair divergences host-level.
+
+        A remap moves data between processors but never changes any
+        array's *global* contents, so the assembled global view before
+        and after must match bit for bit.  Divergent positions (wire
+        faults on the moved data, a desynchronized patched schedule) are
+        repaired from the host-side pre-remap snapshot -- uncharged, the
+        analogue of the executor's post-gather re-gather -- and recorded
+        in ``guard_events``.
+        """
+        from repro.guard.errors import InvariantViolation
+
+        for arr in arrays:
+            ref = before[arr.name]
+            bad = np.flatnonzero(arr.global_view() != ref)
+            if not bad.size:
+                continue
+            dist = arr.distribution
+            pos = (
+                bad
+                if dist.global_perm_is_identity()
+                else dist.global_perm_inverse()[bad]
+            )
+            arr.backing_mut()[pos] = ref[bad]
+            still = np.flatnonzero(arr.global_view() != ref)
+            self.guard_events.append(
+                {
+                    "event": "remap_divergence",
+                    "array": arr.name,
+                    "n_bad": int(bad.size),
+                    "recovered": not still.size,
+                }
+            )
+            if still.size:
+                raise InvariantViolation(
+                    f"remap of array {arr.name!r} diverges from its "
+                    f"pre-remap contents at {int(still.size)} position(s) "
+                    "and the host-level repair did not fix it"
+                )
 
     # ------------------------------------------------------------------
     # FORALL

@@ -20,6 +20,7 @@ guard="cheap")`` or the ``REPRO_GUARD`` environment variable.
 
 from repro.guard.checkpoint import (
     load_checkpoint,
+    previous_checkpoint_path,
     restore_checkpoint,
     save_checkpoint,
 )
@@ -57,6 +58,7 @@ __all__ = [
     "content_checksum",
     "gather_divergence",
     "load_checkpoint",
+    "previous_checkpoint_path",
     "restore_checkpoint",
     "save_checkpoint",
     "suspended",

@@ -45,6 +45,7 @@ restore is not supported.
 
 from __future__ import annotations
 
+import os
 import pickle
 import zlib
 
@@ -69,6 +70,17 @@ from repro.machine.stats import COUNTER_FIELDS, CounterBlock, PhaseRecord
 
 _FORMAT = "repro-checkpoint"
 _VERSION = 1
+
+
+def previous_checkpoint_path(path) -> str:
+    """Where :func:`save_checkpoint` rotates the prior checkpoint to.
+
+    Every save keeps exactly one generation of history: the file that
+    was at ``path`` before the save lives on at ``<path>.prev``, so a
+    crash mid-write (or later corruption of the primary) never destroys
+    the last good checkpoint.
+    """
+    return f"{os.fspath(path)}.prev"
 
 _TTABLE_VARIANTS = {
     RegularTranslationTable: "regular",
@@ -218,6 +230,14 @@ def save_checkpoint(path, program, driver=None) -> None:
     The file is versioned and CRC-protected; :func:`restore_checkpoint`
     refuses anything damaged or shape-incompatible.  Nothing is charged
     to the simulated machine.
+
+    The write is crash-safe: the envelope lands in a temporary file that
+    is atomically renamed into place, and the previous checkpoint (if
+    any) is first rotated to ``<path>.prev`` -- a kill at any instant
+    leaves either the old checkpoint, the old one at ``.prev`` plus the
+    new one, or (worst case, between the two renames) the old one only
+    at ``.prev``, where :meth:`~repro.adapt.driver.AdaptiveExecutor.resume`
+    still finds it.
     """
     machine = program.machine
     schedules: dict[int, dict] = {}
@@ -269,8 +289,17 @@ def save_checkpoint(path, program, driver=None) -> None:
         "crc": zlib.crc32(blob),
         "payload": blob,
     }
-    with open(path, "wb") as f:
-        pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+    path = os.fspath(path)
+    tmp = f"{path}.tmp{os.getpid()}"
+    try:
+        with open(tmp, "wb") as f:
+            pickle.dump(envelope, f, protocol=pickle.HIGHEST_PROTOCOL)
+        if os.path.exists(path):
+            os.replace(path, previous_checkpoint_path(path))
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):
+            os.remove(tmp)
 
 
 # ----------------------------------------------------------------------

@@ -7,9 +7,15 @@ runtime's three natural hook points:
   of an exchanged chunk, drop elements (the requester keeps stale ghost
   values), or duplicate one element over another -- the classic
   lost/garbled/replayed-message triad;
+* **remap wire** (``RemapSchedule.apply``): the same triad over the
+  moved-element data of an array redistribution -- full rebuilds and
+  delta-patched schedules (``patch_remap_schedule``) alike;
 * **patched product** (``IncrementalInspector`` post-patch): swap two
   recv slots within one schedule pair, breaking the slot map exactly the
   way out-of-sync incremental bookkeeping would;
+* **patched remap schedule** (``patch_remap_schedule``): swap two
+  destination slots of a delta-derived remap schedule, desynchronizing
+  it from the repartition plan the way stale move bookkeeping would;
 * **phase boundary** (``Machine.phase``): stall one processor's clock on
   phase entry or exit, modeling a straggler.
 
@@ -56,9 +62,11 @@ class FaultPlan:
         plan.install(machine)
 
     ``nth`` counts events of the hook's kind: non-empty gathers for the
-    wire faults, successful incremental patches for ``flip_slots``, and
-    matching phase enters/exits for ``stall``.  Each registered fault
-    fires exactly once.
+    gather-wire faults, non-empty remap applications for the remap-wire
+    faults, successful incremental patches for ``flip_slots``,
+    delta-patched remap schedules for ``flip_remap``, and matching phase
+    enters/exits for ``stall``.  Each registered fault fires exactly
+    once.
     """
 
     def __init__(self, seed: int = 0):
@@ -67,6 +75,8 @@ class FaultPlan:
         self._specs: list[dict] = []
         self._gathers = 0
         self._patches = 0
+        self._remaps = 0
+        self._remap_patches = 0
         self._phases: dict[tuple[str, str], int] = {}
 
     # ------------------------------------------------------------------
@@ -95,6 +105,31 @@ class FaultPlan:
         """Swap two recv slots within one pair of the ``nth`` patched
         schedule, desynchronizing it from the saved slot bookkeeping."""
         self._specs.append({"kind": "flip_slots", "nth": int(nth), "done": False})
+        return self
+
+    def corrupt_remap(self, nth: int = 0) -> "FaultPlan":
+        """Corrupt one moved element of the ``nth`` non-empty remap apply."""
+        self._specs.append({"kind": "corrupt_remap", "nth": int(nth), "done": False})
+        return self
+
+    def drop_remap(self, nth: int = 0, count: int = 1) -> "FaultPlan":
+        """Drop ``count`` moved elements of the ``nth`` non-empty remap
+        apply: their destination slots keep the allocation's stale fill."""
+        self._specs.append(
+            {"kind": "drop_remap", "nth": int(nth), "count": int(count), "done": False}
+        )
+        return self
+
+    def duplicate_remap(self, nth: int = 0) -> "FaultPlan":
+        """Overwrite one moved element of the ``nth`` non-empty remap
+        apply with a neighboring element (a replayed/misrouted move)."""
+        self._specs.append({"kind": "duplicate_remap", "nth": int(nth), "done": False})
+        return self
+
+    def flip_remap(self, nth: int = 0) -> "FaultPlan":
+        """Swap two destination slots of the ``nth`` delta-patched remap
+        schedule, desynchronizing it from its repartition plan."""
+        self._specs.append({"kind": "flip_remap", "nth": int(nth), "done": False})
         return self
 
     def stall(
@@ -130,34 +165,34 @@ class FaultPlan:
     # ------------------------------------------------------------------
     # hooks (called by the runtime; not part of the public API)
     # ------------------------------------------------------------------
-    def on_gather_wire(self, wire: np.ndarray):
-        """Perturb one gather's wire data.  Returns ``(wire, keep_mask)``;
-        ``keep_mask`` is ``None`` unless elements were dropped."""
-        if not wire.size:
-            return wire, None
-        event = self._gathers
-        self._gathers += 1
+    def _perturb_wire(self, wire: np.ndarray, event: int, suffix: str, label: str):
+        """Shared corrupt/drop/duplicate logic for one wire movement.
+
+        ``suffix`` selects the spec family (``"gather"``/``"remap"``),
+        ``label`` names the event-counter field in ``fired`` records.
+        Returns ``(wire, keep_mask)``; ``keep_mask`` is ``None`` unless
+        elements were dropped."""
         keep = None
         for spec in self._specs:
             if spec["done"] or spec["nth"] != event:
                 continue
             kind = spec["kind"]
-            if kind == "corrupt_gather":
+            if kind == f"corrupt_{suffix}":
                 wire = wire.copy()
                 i = int(self.rng.integers(wire.size))
                 wire[i] += 1
                 spec["done"] = True
-                self.fired.append({"kind": kind, "gather": event, "element": i})
-            elif kind == "drop_gather":
+                self.fired.append({"kind": kind, label: event, "element": i})
+            elif kind == f"drop_{suffix}":
                 k = min(spec["count"], wire.size)
                 drop = self.rng.choice(wire.size, size=k, replace=False)
                 keep = np.ones(wire.size, dtype=bool)
                 keep[drop] = False
                 spec["done"] = True
                 self.fired.append(
-                    {"kind": kind, "gather": event, "elements": sorted(int(d) for d in drop)}
+                    {"kind": kind, label: event, "elements": sorted(int(d) for d in drop)}
                 )
-            elif kind == "duplicate_gather":
+            elif kind == f"duplicate_{suffix}":
                 if wire.size < 2:
                     continue
                 wire = wire.copy()
@@ -165,8 +200,49 @@ class FaultPlan:
                 j = (i + 1) % wire.size
                 wire[j] = wire[i]
                 spec["done"] = True
-                self.fired.append({"kind": kind, "gather": event, "element": j})
+                self.fired.append({"kind": kind, label: event, "element": j})
         return wire, keep
+
+    def on_gather_wire(self, wire: np.ndarray):
+        """Perturb one gather's wire data.  Returns ``(wire, keep_mask)``;
+        ``keep_mask`` is ``None`` unless elements were dropped."""
+        if not wire.size:
+            return wire, None
+        event = self._gathers
+        self._gathers += 1
+        return self._perturb_wire(wire, event, "gather", "gather")
+
+    def on_remap_wire(self, wire: np.ndarray):
+        """Perturb the moved-element data of one remap application.
+        Returns ``(wire, keep_mask)`` like :meth:`on_gather_wire`; the
+        charged message volume is untouched either way."""
+        if not wire.size:
+            return wire, None
+        event = self._remaps
+        self._remaps += 1
+        return self._perturb_wire(wire, event, "remap", "remap")
+
+    def on_patched_remap(self, sched) -> bool:
+        """Possibly swap two destination slots of a freshly delta-patched
+        remap schedule.  Returns True when a fault was injected."""
+        event = self._remap_patches
+        self._remap_patches += 1
+        hit = False
+        for spec in self._specs:
+            if spec["done"] or spec["kind"] != "flip_remap" or spec["nth"] != event:
+                continue
+            if sched._dst_pos.size < 2:
+                continue
+            i = int(self.rng.integers(sched._dst_pos.size - 1))
+            dst = sched._dst_pos.copy()
+            dst[i], dst[i + 1] = dst[i + 1], dst[i]
+            sched._dst_pos = dst
+            spec["done"] = True
+            hit = True
+            self.fired.append(
+                {"kind": "flip_remap", "remap_patch": event, "slot": i}
+            )
+        return hit
 
     def on_patched_product(self, product) -> bool:
         """Possibly desynchronize one schedule of a freshly patched

@@ -1,0 +1,109 @@
+"""Self-healing content-addressed result cache.
+
+One JSON file per finished job, named by its
+:func:`~repro.serve.config.config_key`.  Entries are CRC-guarded
+envelopes (the checkpoint pattern applied to results)::
+
+    {"format": "repro-serve-result", "version": 1,
+     "crc": <crc32 of canonical payload JSON>, "payload": {...}}
+
+Writes are torn-write safe (tmp + ``os.replace``).  Reads verify the
+envelope before trusting it; anything damaged -- truncation, bit rot,
+a non-JSON file squatting on the name -- is moved aside to
+``<path>.quarantine`` and reported as a miss, so the service recomputes
+and re-persists transparently.  The cache never takes the service down
+and never serves bytes that fail their checksum.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import zlib
+
+_FORMAT = "repro-serve-result"
+_VERSION = 1
+
+
+def _payload_crc(payload: dict) -> int:
+    return zlib.crc32(json.dumps(payload, sort_keys=True).encode())
+
+
+class ResultCache:
+    """Content-addressed, CRC-guarded result store under one directory."""
+
+    def __init__(self, root: str):
+        self.root = os.fspath(root)
+        os.makedirs(self.root, exist_ok=True)
+        self.hits = 0
+        self.misses = 0
+        self.corrupt = 0
+        #: structured record of every quarantine: {"key", "path", "reason"}
+        self.quarantined: list[dict] = []
+
+    def path(self, key: str) -> str:
+        return os.path.join(self.root, f"{key}.json")
+
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        """The cached payload for ``key``, or ``None`` (miss/damage)."""
+        path = self.path(key)
+        if not os.path.exists(path):
+            self.misses += 1
+            return None
+        try:
+            with open(path, "rb") as f:
+                env = json.loads(f.read().decode())
+            if not isinstance(env, dict) or env.get("format") != _FORMAT:
+                raise ValueError("not a serve result envelope")
+            if env.get("version") != _VERSION:
+                raise ValueError(f"unsupported version {env.get('version')!r}")
+            payload = env["payload"]
+            if _payload_crc(payload) != env["crc"]:
+                raise ValueError("payload failed its CRC")
+        except (OSError, ValueError, KeyError, UnicodeDecodeError) as exc:
+            self._quarantine(key, path, exc)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        self.hits += 1
+        return payload
+
+    def put(self, key: str, payload: dict) -> str:
+        """Persist ``payload`` under ``key`` atomically; returns the path."""
+        path = self.path(key)
+        env = {
+            "format": _FORMAT,
+            "version": _VERSION,
+            "crc": _payload_crc(payload),
+            "payload": payload,
+        }
+        tmp = f"{path}.tmp{os.getpid()}"
+        try:
+            with open(tmp, "w") as f:
+                json.dump(env, f, sort_keys=True)
+            os.replace(tmp, path)
+        finally:
+            if os.path.exists(tmp):
+                os.remove(tmp)
+        return path
+
+    # ------------------------------------------------------------------
+    def _quarantine(self, key: str, path: str, exc: Exception) -> None:
+        try:
+            os.replace(path, f"{path}.quarantine")
+        except OSError:
+            pass  # already moved/removed by someone else
+        self.quarantined.append(
+            {"key": key, "path": path, "reason": f"{type(exc).__name__}: {exc}"}
+        )
+
+    def stats(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt": self.corrupt,
+            "entries": len(
+                [n for n in os.listdir(self.root) if n.endswith(".json")]
+            ),
+        }

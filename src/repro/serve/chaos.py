@@ -1,0 +1,225 @@
+"""Deterministic chaos harness: the service's correctness gate.
+
+Two passes over the same set of job configs:
+
+1. **reference** -- a quiet service, no faults, results collected;
+2. **chaos** -- a fresh service (fresh cache) where every job is made to
+   suffer: workers are killed mid-job (``crash_at_step``, twice for some
+   jobs), a freshly written checkpoint is corrupted before one crash so
+   the retry must fall back to the rotated ``.prev`` generation,
+   :class:`~repro.guard.faults.FaultPlan` wire faults corrupt gather and
+   remap traffic inside the simulation, duplicate submissions race the
+   originals, and a finished cache entry is flipped on disk before being
+   requested again.
+
+The harness then asserts the service's whole contract:
+
+* every chaos job completes (no fault leaks out as a failure);
+* each result's :func:`~repro.serve.jobs.bit_identity` projection is
+  **identical** to the reference run's -- crashes, resumes, retries and
+  recovered data faults change nothing the simulation computed;
+* duplicates coalesced onto one simulation;
+* the corrupted cache entry was quarantined and recomputed to the same
+  bits;
+* every retry/resume/degradation left a structured event behind.
+
+Everything is seeded; two runs of the harness do the same damage in the
+same order.  ``python -m repro.serve chaos`` runs it in CI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.serve.config import JobConfig
+from repro.serve.jobs import bit_identity
+from repro.serve.service import SimulationService
+
+
+def chaos_configs(seed: int = 0) -> list[JobConfig]:
+    """The job mix both passes run: small, fast, covering all scenarios."""
+    return [
+        JobConfig(
+            scenario="adapt",
+            n_nodes=300,
+            n_procs=4,
+            steps=6,
+            checkpoint_every=2,
+            seed=seed + 1,
+            faults=(("corrupt_gather", 1),),
+        ),
+        JobConfig(
+            scenario="rebalance",
+            n_nodes=300,
+            n_procs=4,
+            steps=6,
+            adapt_every=2,
+            checkpoint_every=2,
+            seed=seed + 2,
+            faults=(("corrupt_remap", 5), ("duplicate_remap", 11)),
+        ),
+        JobConfig(
+            scenario="sweep",
+            n_nodes=240,
+            n_procs=4,
+            steps=4,
+            checkpoint_every=2,
+            seed=seed + 3,
+        ),
+        JobConfig(
+            scenario="adapt",
+            n_nodes=240,
+            n_procs=8,
+            steps=6,
+            checkpoint_every=2,
+            seed=seed + 4,
+            faults=(("duplicate_gather", 2),),
+        ),
+    ]
+
+
+def _chaos_variant(i: int, config: JobConfig) -> JobConfig:
+    """Scripted host failures for chaos job ``i``.
+
+    Every job crashes at least once mid-run; job 1 crashes twice; job 3
+    also corrupts its just-written checkpoint before dying, forcing the
+    retry through the ``.prev`` fallback (a ``degraded`` event).
+    """
+    crash_step = min(3, config.steps - 2)
+    return replace(
+        config,
+        crash_at_step=crash_step,
+        crash_attempts=2 if i == 1 else 1,
+        corrupt_checkpoint_on_crash=(i == 3),
+    )
+
+
+class ChaosFailure(AssertionError):
+    """The service broke its contract under injected faults."""
+
+
+def _require(cond: bool, report: dict, message: str) -> None:
+    if not cond:
+        report["failures"].append(message)
+
+
+def run_chaos(seed: int = 0, workers: int = 2, verbose: bool = False) -> dict:
+    """Run the full chaos scenario; returns a structured report.
+
+    Raises :class:`ChaosFailure` (with the report attached) if any
+    contract assertion fails.
+    """
+    configs = chaos_configs(seed)
+    report: dict = {"seed": seed, "jobs": len(configs), "failures": []}
+
+    # ---- pass 1: fault-free reference --------------------------------
+    with SimulationService(workers=workers, seed=seed) as svc:
+        ref_jobs = [svc.submit(c) for c in configs]
+        reference = [j.wait(timeout=600) for j in ref_jobs]
+    report["reference"] = [r["simulated_total"] for r in reference]
+
+    # ---- pass 2: chaos ------------------------------------------------
+    with SimulationService(
+        workers=workers,
+        max_attempts=4,
+        backoff_base=0.02,
+        seed=seed,
+    ) as svc:
+        chaos = [_chaos_variant(i, c) for i, c in enumerate(configs)]
+        jobs = [svc.submit(c) for c in chaos]
+        # duplicate submissions must coalesce onto the in-flight jobs
+        dup0 = svc.submit(chaos[0])
+        dup2 = svc.submit(chaos[2])
+        results = [j.wait(timeout=600) for j in jobs]
+
+        _require(dup0 is jobs[0], report, "duplicate 0 not coalesced")
+        _require(dup2 is jobs[2], report, "duplicate 2 not coalesced")
+
+        for i, (job, res, ref) in enumerate(zip(jobs, results, reference)):
+            st = job.status()
+            events = [e["event"] for e in st["events"]]
+            _require(
+                st["state"] == "done", report, f"job {i} state {st['state']}"
+            )
+            _require(
+                bit_identity(res) == bit_identity(ref),
+                report,
+                f"job {i} NOT bit-identical to fault-free run "
+                f"({res['simulated_total']} vs {ref['simulated_total']})",
+            )
+            _require(
+                "retrying" in events,
+                report,
+                f"job {i} crashed but has no retrying event",
+            )
+            _require(
+                "resumed" in events,
+                report,
+                f"job {i} retried but never resumed from a checkpoint",
+            )
+            if chaos[i].corrupt_checkpoint_on_crash:
+                _require(
+                    "degraded" in events,
+                    report,
+                    f"job {i} corrupted its checkpoint but no degraded event",
+                )
+                res_ev = [e for e in st["events"] if e["event"] == "resumed"]
+                _require(
+                    any(e.get("source") == "prev" for e in res_ev),
+                    report,
+                    f"job {i} did not resume from the .prev generation",
+                )
+
+        # duplicate of a *finished* job: served from cache, one simulation
+        warm = svc.submit(chaos[0])
+        _require(warm.done, report, "cache-warm resubmission not done")
+        _require(
+            bit_identity(warm.wait(1)) == bit_identity(reference[0]),
+            report,
+            "cache-warm result differs",
+        )
+
+        # corrupt a finished cache entry on disk: next submission must
+        # quarantine it, recompute, and land on the same bits
+        victim = jobs[2]
+        path = svc.cache.path(victim.key)
+        with open(path, "r+b") as f:
+            f.seek(40)
+            f.write(b"\xff\xff\xff")
+        healed = svc.submit(configs[2])  # clean config, same key space
+        healed_res = healed.wait(timeout=600)
+        _require(
+            svc.cache.corrupt >= 1, report, "corrupt cache entry not detected"
+        )
+        _require(
+            bit_identity(healed_res) == bit_identity(reference[2]),
+            report,
+            "recomputed result after cache corruption differs",
+        )
+
+        health = svc.health()
+        _require(
+            health["counts"]["worker_restarts"] >= len(configs),
+            report,
+            "supervisor restarted fewer workers than crashes injected",
+        )
+        _require(
+            any(e["event"] == "cache_quarantine" for e in health["events"]),
+            report,
+            "cache quarantine left no service event",
+        )
+        report["health"] = health
+        report["results"] = [r["simulated_total"] for r in results]
+        report["attempts"] = [j.status()["attempts"] for j in jobs]
+
+    report["ok"] = not report["failures"]
+    if verbose:  # pragma: no cover - CLI cosmetics
+        for i, cfg in enumerate(configs):
+            print(
+                f"  job {i}: {cfg.scenario:9s} steps={cfg.steps} "
+                f"attempts={report['attempts'][i]} "
+                f"simulated_total={report['results'][i]:.6f}"
+            )
+    if not report["ok"]:
+        raise ChaosFailure("; ".join(report["failures"]))
+    return report

@@ -1,0 +1,48 @@
+"""Thin typed client over :class:`~repro.serve.service.SimulationService`.
+
+The SDK callers are meant to hold: keyword-argument submission with the
+config validated up front (:class:`~repro.serve.config.JobConfig` raises
+on nonsense before anything is queued), polite handling of load
+shedding (sleep ``retry_after`` and resubmit, up to a bound), and a
+blocking ``run()`` for the common submit-and-wait case.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.serve.config import JobConfig
+from repro.serve.errors import QueueSaturated
+from repro.serve.service import Job, SimulationService
+
+
+class ServeClient:
+    """Typed convenience front-end for one service instance."""
+
+    def __init__(self, service: SimulationService, submit_retries: int = 8):
+        self.service = service
+        self.submit_retries = int(submit_retries)
+
+    def submit(self, **config_kwargs) -> Job:
+        """Validate and submit; honors ``retry_after`` on a full queue.
+
+        Raises :class:`QueueSaturated` only after ``submit_retries``
+        shed submissions in a row.
+        """
+        config = JobConfig(**config_kwargs)
+        for _ in range(self.submit_retries):
+            try:
+                return self.service.submit(config)
+            except QueueSaturated as exc:
+                time.sleep(exc.retry_after)
+        return self.service.submit(config)  # last try: let it raise
+
+    def run(self, timeout: float | None = 300.0, **config_kwargs) -> dict:
+        """Submit and block for the result (:class:`JobFailed` on failure)."""
+        return self.submit(**config_kwargs).wait(timeout)
+
+    def status(self, job: Job) -> dict:
+        return job.status()
+
+    def health(self) -> dict:
+        return self.service.health()

@@ -1,0 +1,122 @@
+"""Job configurations and their content-addressed identity.
+
+A :class:`JobConfig` is the complete recipe for one simulation: the
+workload scenario, mesh size and seed, machine size, partitioner, and
+step count.  :func:`config_key` hashes the fields that determine the
+*simulated* outcome into a stable content address -- two submissions
+with the same key are the same simulation, which is what lets the
+service coalesce duplicates and cache results.
+
+Host-only fields (``crash_at_step``, ``crash_attempts``,
+``corrupt_checkpoint_on_crash``, ``step_delay_s``) script worker
+failures for the chaos harness.  They change how the job *executes* --
+crashes, resumes, wall-clock -- but never what it computes (checkpoint
+resume is bit-identical), so they are excluded from the key: a job that
+crashed twice and resumed produces, and shares, the exact result of the
+undisturbed run.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, fields
+
+#: scenarios run_job knows how to drive
+SCENARIOS = ("sweep", "adapt", "rebalance")
+
+#: JobConfig fields that do not affect simulated results (failure
+#: scripting for the chaos harness); excluded from config_key
+HOST_ONLY_FIELDS = (
+    "crash_at_step",
+    "crash_attempts",
+    "corrupt_checkpoint_on_crash",
+    "step_delay_s",
+)
+
+
+@dataclass(frozen=True)
+class JobConfig:
+    """One simulation request.
+
+    ``faults`` is a tuple of ``(kind, nth)`` pairs translated into a
+    :class:`~repro.guard.faults.FaultPlan` inside the worker (kinds:
+    ``corrupt_gather``, ``duplicate_gather``, ``corrupt_remap``,
+    ``duplicate_remap``, ``drop_remap``, ``flip_remap`` -- the
+    recoverable, counter-preserving ones).  Faults are part of the
+    config key: they *should* recover bit-identically, but that is a
+    property the chaos harness asserts, not one the cache assumes.
+    """
+
+    workload: str = "euler"
+    scenario: str = "adapt"
+    n_nodes: int = 400
+    n_procs: int = 8
+    partitioner: str = "RCB"
+    steps: int = 6
+    seed: int = 0
+    fraction: float = 0.04  # adapt: edge-change fraction per epoch
+    adapt_every: int = 2  # adapt/rebalance: steps between adaptations
+    slack: float = 0.05  # rebalance: balance slack
+    checkpoint_every: int = 2  # steps between checkpoints (0 = never)
+    guard: str = "cheap"
+    faults: tuple = ()
+
+    # host-only failure scripting (chaos harness); not in the key.
+    # the worker kills itself after completing the first executed step
+    # >= crash_at_step, on each attempt <= crash_attempts (a resumed
+    # retry starts past the original crash point, so ">=" is what makes
+    # repeat crashes reachable)
+    crash_at_step: int | None = None
+    crash_attempts: int = 1
+    corrupt_checkpoint_on_crash: bool = False
+    step_delay_s: float = 0.0
+
+    def __post_init__(self):
+        if self.workload != "euler":
+            raise ValueError(f"unknown workload {self.workload!r}")
+        if self.scenario not in SCENARIOS:
+            raise ValueError(
+                f"unknown scenario {self.scenario!r}; choose from {SCENARIOS}"
+            )
+        if self.steps < 1:
+            raise ValueError(f"steps must be >= 1, got {self.steps}")
+        if self.n_procs < 2:
+            raise ValueError(f"n_procs must be >= 2, got {self.n_procs}")
+        if self.checkpoint_every < 0:
+            raise ValueError(
+                f"checkpoint_every must be >= 0, got {self.checkpoint_every}"
+            )
+        for pair in self.faults:
+            if len(pair) != 2:
+                raise ValueError(f"faults entries are (kind, nth) pairs, got {pair!r}")
+
+    def simulated_fields(self) -> dict:
+        """The fields that determine the simulated outcome, as plain data."""
+        d = asdict(self)
+        for name in HOST_ONLY_FIELDS:
+            d.pop(name)
+        d["faults"] = [list(p) for p in self.faults]
+        return d
+
+    @classmethod
+    def from_dict(cls, d: dict) -> "JobConfig":
+        known = {f.name for f in fields(cls)}
+        unknown = set(d) - known
+        if unknown:
+            raise ValueError(f"unknown JobConfig fields: {sorted(unknown)}")
+        d = dict(d)
+        if "faults" in d:
+            d["faults"] = tuple(tuple(p) for p in d["faults"])
+        return cls(**d)
+
+
+def config_key(config: JobConfig) -> str:
+    """Stable content address of a config's simulated outcome.
+
+    sha256 over the canonical JSON of the simulated fields -- insertion
+    order independent, host-only fields excluded.  Used as the cache
+    file name and the coalescing identity.
+    """
+    canon = json.dumps(config.simulated_fields(), sort_keys=True)
+    return hashlib.sha256(canon.encode()).hexdigest()

@@ -1,0 +1,100 @@
+"""Worker subprocess protocol.
+
+One worker = one subprocess + one duplex :func:`multiprocessing.Pipe`.
+The pipe is deliberately **per-worker** rather than a shared queue: a
+worker SIGKILLed mid-``send`` on a shared ``mp.Queue`` can leave the
+queue's feeder lock held and poison every other worker, while a killed
+worker here corrupts only its own pipe -- the supervisor sees
+``EOFError``/``OSError`` on that one connection and knows exactly which
+worker died.
+
+Messages are plain dicts:
+
+supervisor -> worker::
+
+    {"type": "job", "job_id", "attempt", "config": {...}, "checkpoint_path"}
+    {"type": "stop"}
+
+worker -> supervisor::
+
+    {"type": "started",   "job_id", "attempt"}
+    {"type": "heartbeat", "job_id", "step"}
+    {"type": "result",    "job_id", "result": {...}}
+    {"type": "error",     "job_id", "error", "error_type"}
+
+``error`` covers *typed, in-process* failures (a config the runtime
+rejects); crashes never send anything -- the pipe just goes dead, which
+is the point.
+"""
+
+from __future__ import annotations
+
+import multiprocessing as mp
+
+from repro.serve.config import JobConfig
+from repro.serve.jobs import run_job
+
+
+def worker_main(conn, worker_id: int) -> None:
+    """Blocking job loop of one worker subprocess."""
+    while True:
+        try:
+            msg = conn.recv()
+        except (EOFError, OSError):
+            return  # supervisor went away
+        if msg["type"] == "stop":
+            conn.close()
+            return
+        if msg["type"] != "job":  # pragma: no cover - protocol guard
+            continue
+        job_id = msg["job_id"]
+        attempt = msg["attempt"]
+        conn.send({"type": "started", "job_id": job_id, "attempt": attempt})
+
+        def beat(step, _job_id=job_id):
+            conn.send({"type": "heartbeat", "job_id": _job_id, "step": step})
+
+        try:
+            result = run_job(
+                JobConfig.from_dict(msg["config"]),
+                checkpoint_path=msg["checkpoint_path"],
+                attempt=attempt,
+                heartbeat=beat,
+            )
+        except Exception as exc:  # typed failure: report, stay alive
+            conn.send(
+                {
+                    "type": "error",
+                    "job_id": job_id,
+                    "error": str(exc),
+                    "error_type": type(exc).__name__,
+                }
+            )
+        else:
+            conn.send({"type": "result", "job_id": job_id, "result": result})
+
+
+def spawn_worker(ctx, worker_id: int):
+    """Start one worker; returns ``(process, supervisor_end_of_pipe)``."""
+    parent_conn, child_conn = mp.Pipe(duplex=True)
+    proc = ctx.Process(
+        target=worker_main,
+        args=(child_conn, worker_id),
+        name=f"repro-serve-worker-{worker_id}",
+        daemon=True,
+    )
+    proc.start()
+    child_conn.close()  # child's end lives only in the child now
+    return proc, parent_conn
+
+
+def make_context():
+    """The multiprocessing context workers are spawned from.
+
+    ``forkserver`` where available (Linux): fork-speed starts without
+    inheriting the service's threads; ``spawn`` otherwise.
+    """
+    try:
+        return mp.get_context("forkserver")
+    except ValueError:  # pragma: no cover - non-Linux fallback
+        return mp.get_context("spawn")

@@ -14,6 +14,7 @@ randomly renumber the nodes.
 from __future__ import annotations
 
 import os
+import zipfile
 from dataclasses import dataclass
 
 import numpy as np
@@ -125,6 +126,32 @@ def _persist_mesh(cache_dir: str, key: tuple, mesh: UnstructuredMesh) -> None:
             os.remove(tmp)
 
 
+def _load_persisted(path: str) -> UnstructuredMesh | None:
+    """Read one on-disk cache entry; damaged files are quarantined.
+
+    A truncated or corrupted ``.npz`` (torn write from a killed process,
+    disk damage) must never take the generator down: the bad file is
+    moved aside to ``<path>.quarantine`` for post-mortem and ``None`` is
+    returned so the caller regenerates and re-persists transparently.
+    """
+    try:
+        with np.load(path) as data:
+            coords = np.asarray(data["coords"])
+            edges = np.asarray(data["edges"])
+        if coords.ndim != 2 or edges.ndim != 2 or edges.shape[0] != 2:
+            raise ValueError(
+                f"cached mesh has wrong shapes: coords {coords.shape}, "
+                f"edges {edges.shape}"
+            )
+        return UnstructuredMesh(coords=coords, edges=edges)
+    except (OSError, ValueError, KeyError, EOFError, zipfile.BadZipFile):
+        try:
+            os.replace(path, f"{path}.quarantine")
+        except OSError:
+            pass  # someone else already moved/removed it; regenerate anyway
+        return None
+
+
 def generate_mesh(
     n_nodes: int,
     ndim: int = 3,
@@ -145,7 +172,8 @@ def generate_mesh(
     ``cache_dir`` additionally persists meshes on disk as ``.npz`` files
     (the benchmarks use ``benchmarks/out/``, so repeated bench runs skip
     the multi-second Delaunay step entirely).  Callers always receive a
-    fresh copy, never the cached instance.
+    fresh copy, never the cached instance.  A damaged on-disk entry is
+    quarantined and the mesh regenerated and re-persisted transparently.
     """
     if n_nodes < ndim + 2:
         raise ValueError(
@@ -164,10 +192,12 @@ def generate_mesh(
     if cache and cache_dir is not None:
         path = _disk_cache_path(cache_dir, key)
         if os.path.exists(path):
-            with np.load(path) as data:
-                mesh = UnstructuredMesh(coords=data["coords"], edges=data["edges"])
-            _MESH_CACHE[key] = mesh
-            return _fresh_copy(mesh)
+            mesh = _load_persisted(path)
+            if mesh is not None:
+                _MESH_CACHE[key] = mesh
+                return _fresh_copy(mesh)
+            # damaged entry was quarantined: fall through to regenerate
+            # (and re-persist below)
     rng = np.random.default_rng(seed)
     pts = (
         _graded_points(n_nodes, ndim, rng)

@@ -110,6 +110,7 @@ def run_rebalance_campaign(
     incremental: bool = True,
     seed: int = 0,
     slack: float = 0.05,
+    fault_plan=None,
     **program_kwargs,
 ):
     """Drive ``epochs`` rebalance/remap/sweep rounds.
@@ -120,10 +121,15 @@ def run_rebalance_campaign(
     (:func:`~repro.chaos.remap.patch_remap_schedule`).  Both modes apply
     the *same* ``repartition_stable``-produced distribution, so machine
     state outside the remap phase and every array's contents are
-    bit-identical between them.  Returns ``(machine, program,
-    moves_per_epoch)``.
+    bit-identical between them.  ``fault_plan`` (a
+    :class:`~repro.guard.faults.FaultPlan`) is installed on the machine
+    before any work runs, so the remap fault matrix can target both the
+    setup redistribution and the per-epoch patched remaps.  Returns
+    ``(machine, program, moves_per_epoch)``.
     """
     machine = Machine(n_procs)
+    if fault_plan is not None:
+        fault_plan.install(machine)
     prog = setup_rebalance_program(machine, mesh, seed=seed, **program_kwargs)
     loop = euler_edge_loop(mesh)
     prog.forall(loop, n_times=sweeps)

@@ -8,13 +8,19 @@ saved inspector state must match the reference bit for bit -- both at
 the resume point and after continuing.
 """
 
+import os
 import pickle
 
 import numpy as np
 import pytest
 
 from repro import AdaptiveExecutor
-from repro.guard import CheckpointError, load_checkpoint, save_checkpoint
+from repro.guard import (
+    CheckpointError,
+    load_checkpoint,
+    previous_checkpoint_path,
+    save_checkpoint,
+)
 from repro.machine import Machine
 from repro.machine.stats import COUNTER_FIELDS
 from repro.workloads import generate_mesh
@@ -259,4 +265,96 @@ class TestRejectsDamage:
         path, mesh = self.make(tmp_path)
         _, _, prog = build(incremental=False)
         with pytest.raises(CheckpointError, match="incremental"):
+            AdaptiveExecutor.resume(path, prog, euler_edge_loop(mesh))
+
+
+class TestCrashSafeSave:
+    """save_checkpoint survives torn writes and rotates the previous
+    good file to ``<path>.prev``; resume falls back to it when the
+    primary is damaged."""
+
+    def drive_and_save(self, tmp_path, steps=(2, 4)):
+        """One campaign saving to the same path after each step count."""
+        path = tmp_path / "rotating.ckpt"
+        mesh, m, prog = build()
+        exe = AdaptiveExecutor(prog, euler_edge_loop(mesh))
+        done = 0
+        for upto in steps:
+            drive(exe, mesh, upto - done, start=done)
+            done = upto
+            exe.checkpoint(path)
+        return path, mesh, exe
+
+    def test_rotation_keeps_previous_checkpoint(self, tmp_path):
+        path, mesh, exe = self.drive_and_save(tmp_path)
+        prev = previous_checkpoint_path(path)
+        assert os.path.exists(prev)
+        # primary is the newest save, .prev the one before it
+        assert len(load_checkpoint(path)["driver"]["history"]) == 4
+        assert len(load_checkpoint(prev)["driver"]["history"]) == 2
+
+    def test_no_tmp_litter(self, tmp_path):
+        path, _, _ = self.drive_and_save(tmp_path)
+        leftovers = [n for n in os.listdir(tmp_path) if ".tmp" in n]
+        assert leftovers == []
+
+    def test_resume_falls_back_to_prev_on_corruption(self, tmp_path):
+        path, mesh, exe_a = self.drive_and_save(tmp_path)
+        # the crash damages the newest checkpoint mid-write
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        mesh, m_b, p_b = build()
+        exe_b = AdaptiveExecutor.resume(path, p_b, euler_edge_loop(mesh))
+        assert exe_b.resumed_from == "prev"
+        # resumed at step 2 (the .prev save), not step 4
+        assert len(exe_b.history) == 2
+
+        # and the fallback resume is still bit-identical: continue to
+        # step 4 and compare against a clean uninterrupted run
+        drive(exe_b, mesh, 2, start=2)
+        mesh, m_ref, p_ref = build()
+        exe_ref = AdaptiveExecutor(p_ref, euler_edge_loop(mesh))
+        drive(exe_ref, mesh, 4)
+        assert_machines_equal(m_ref, m_b)
+        assert_programs_equal(p_ref, p_b)
+
+    def test_resume_prefers_intact_primary(self, tmp_path):
+        path, mesh, _ = self.drive_and_save(tmp_path)
+        mesh, _, p_b = build()
+        exe_b = AdaptiveExecutor.resume(path, p_b, euler_edge_loop(mesh))
+        assert exe_b.resumed_from == "primary"
+        assert len(exe_b.history) == 4
+
+    def test_both_damaged_raises(self, tmp_path):
+        path, mesh, _ = self.drive_and_save(tmp_path)
+        for p in (path, previous_checkpoint_path(path)):
+            raw = bytearray(open(p, "rb").read())
+            raw[len(raw) // 2] ^= 0xFF
+            open(p, "wb").write(bytes(raw))
+        _, _, p_b = build()
+        with pytest.raises(CheckpointError):
+            AdaptiveExecutor.resume(path, p_b, euler_edge_loop(mesh))
+
+    def test_corrupt_primary_without_prev_raises(self, tmp_path):
+        path = tmp_path / "single.ckpt"
+        mesh, _, prog = build()
+        exe = AdaptiveExecutor(prog, euler_edge_loop(mesh))
+        drive(exe, mesh, 1)
+        exe.checkpoint(path)
+        raw = bytearray(path.read_bytes())
+        raw[len(raw) // 2] ^= 0xFF
+        path.write_bytes(bytes(raw))
+        _, _, p_b = build()
+        with pytest.raises(CheckpointError):
+            AdaptiveExecutor.resume(path, p_b, euler_edge_loop(mesh))
+
+    def test_semantic_mismatch_does_not_fall_back(self, tmp_path):
+        """Only *damage* (unreadable envelope) triggers the .prev
+        fallback; a valid checkpoint that doesn't fit the program is a
+        real error even when an older file exists."""
+        path, mesh, _ = self.drive_and_save(tmp_path)
+        _, _, prog = build(n_procs=8)
+        with pytest.raises(CheckpointError, match="processors"):
             AdaptiveExecutor.resume(path, prog, euler_edge_loop(mesh))

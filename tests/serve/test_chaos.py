@@ -1,0 +1,30 @@
+"""The deterministic chaos harness is itself a tier-1 gate.
+
+One full harness run: worker kills (single and repeated), a corrupted
+checkpoint forcing the ``.prev`` fallback, wire faults inside the
+simulations, duplicate submissions, and cache corruption -- all jobs
+must complete bit-identical to the fault-free reference pass.
+"""
+
+from repro.serve.chaos import chaos_configs, run_chaos
+from repro.serve.config import config_key
+
+
+def test_chaos_configs_are_distinct():
+    keys = [config_key(c) for c in chaos_configs(seed=0)]
+    assert len(set(keys)) == len(keys)
+    assert chaos_configs(seed=0) == chaos_configs(seed=0)
+    assert chaos_configs(seed=0) != chaos_configs(seed=5)
+
+
+def test_chaos_soak_bit_identical():
+    report = run_chaos(seed=0, workers=2)
+    assert report["ok"]
+    assert report["failures"] == []
+    assert report["results"] == report["reference"]
+    # every chaos job needed at least one retry
+    assert all(a >= 2 for a in report["attempts"])
+    counts = report["health"]["counts"]
+    assert counts["worker_restarts"] >= report["jobs"]
+    assert counts["coalesced"] == 2
+    assert report["health"]["cache"]["corrupt"] == 1

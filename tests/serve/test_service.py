@@ -1,0 +1,176 @@
+"""Service failure modes, against real worker subprocesses.
+
+Each test stands up a small :class:`SimulationService` and drives one
+failure scenario end to end: worker killed mid-job and the retry
+resuming from its checkpoint, retry budget exhaustion, queue
+saturation with load shedding, duplicate coalescing, typed in-worker
+failures, hang detection, and cache corruption healing.
+"""
+
+import time
+
+import pytest
+
+from repro.serve import (
+    JobConfig,
+    JobFailed,
+    QueueSaturated,
+    RetryBudgetExhausted,
+    SimulationService,
+)
+from repro.serve.jobs import bit_identity, run_job
+
+CFG = dict(scenario="adapt", n_nodes=240, n_procs=4, checkpoint_every=2)
+
+
+def events_of(job):
+    return [e["event"] for e in job.status()["events"]]
+
+
+def wait_until(pred, timeout=30.0, interval=0.02):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if pred():
+            return True
+        time.sleep(interval)
+    return False
+
+
+def test_kill_mid_job_retries_and_resumes():
+    cfg = JobConfig(steps=6, seed=7, crash_at_step=3, **CFG)
+    ref = run_job(JobConfig(steps=6, seed=7, **CFG))
+    with SimulationService(workers=1, backoff_base=0.01, seed=0) as svc:
+        job = svc.submit(cfg)
+        result = job.wait(timeout=120)
+    assert bit_identity(result) == bit_identity(ref)
+    assert result["resumed"] and result["start_step"] == 4
+    st = job.status()
+    assert st["attempts"] == 2
+    ev = events_of(job)
+    assert ev.index("queued") < ev.index("running")
+    assert "retrying" in ev and "resumed" in ev
+    assert ev[-1] == "done"
+    retry = next(e for e in st["events"] if e["event"] == "retrying")
+    assert retry["reason"] == "worker_died"
+    assert retry["resume_available"]
+    assert retry["delay"] > 0
+
+
+def test_retry_budget_exhaustion_is_a_typed_failure():
+    cfg = JobConfig(steps=4, seed=8, crash_at_step=0, crash_attempts=99, **CFG)
+    with SimulationService(
+        workers=1, max_attempts=2, backoff_base=0.01, seed=0
+    ) as svc:
+        job = svc.submit(cfg)
+        with pytest.raises(JobFailed) as exc_info:
+            job.wait(timeout=120)
+        health = svc.health()
+    cause = exc_info.value.cause
+    assert isinstance(cause, RetryBudgetExhausted)
+    assert cause.attempts == 2
+    assert "worker_died" in cause.reasons
+    st = job.status()
+    assert st["state"] == "failed"
+    failed = next(e for e in st["events"] if e["event"] == "failed")
+    assert failed["reason"] == "retry_budget_exhausted"
+    assert health["counts"]["failed"] == 1
+    assert health["counts"]["worker_restarts"] == 2
+
+
+def test_queue_saturation_sheds_load_with_retry_after():
+    slow = dict(CFG, steps=4, step_delay_s=0.4)
+    with SimulationService(workers=1, queue_limit=1, seed=0) as svc:
+        running = svc.submit(JobConfig(seed=20, **slow))
+        # wait until the slow job occupies the worker, then fill the queue
+        assert wait_until(lambda: running.status()["state"] == "running")
+        queued = svc.submit(JobConfig(seed=21, **slow))
+        with pytest.raises(QueueSaturated) as exc_info:
+            svc.submit(JobConfig(seed=22, **slow))
+        assert exc_info.value.retry_after > 0
+        assert svc.health()["counts"]["shed"] == 1
+        running.wait(timeout=120)
+        queued.wait(timeout=120)
+        # the shed config is admitted once the queue drains
+        retry = svc.submit(JobConfig(seed=22, **slow))
+        retry.wait(timeout=120)
+
+
+def test_duplicates_coalesce_onto_one_simulation():
+    cfg = JobConfig(steps=5, seed=9, **CFG)
+    with SimulationService(workers=2, seed=0) as svc:
+        a = svc.submit(cfg)
+        b = svc.submit(cfg)
+        c = svc.submit(cfg)
+        assert b is a and c is a
+        result = a.wait(timeout=120)
+        health = svc.health()
+        # the same config again, now finished: served from the cache
+        warm = svc.submit(cfg)
+        assert warm.done
+        assert warm.wait(1) == result
+        warm_health = svc.health()
+    assert a.status()["duplicates"] == 2
+    assert events_of(a).count("coalesced") == 2
+    assert health["counts"]["completed"] == 1  # one simulation, three callers
+    assert warm_health["counts"]["cache_hits"] == 1
+
+
+def test_typed_worker_error_fails_without_retry():
+    cfg = JobConfig(steps=2, seed=10, partitioner="BOGUS", **CFG)
+    with SimulationService(workers=1, backoff_base=0.01, seed=0) as svc:
+        job = svc.submit(cfg)
+        with pytest.raises(JobFailed, match="BOGUS"):
+            job.wait(timeout=120)
+        health = svc.health()
+    st = job.status()
+    assert st["attempts"] == 1  # deterministic failure: retrying is waste
+    failed = next(e for e in st["events"] if e["event"] == "failed")
+    assert failed["reason"] == "typed_error"
+    assert health["counts"]["worker_restarts"] == 0  # worker survived
+
+
+def test_hung_worker_is_killed_via_heartbeat_timeout():
+    # per-step sleep far beyond the heartbeat window; one attempt only
+    cfg = JobConfig(steps=4, seed=11, step_delay_s=5.0, **CFG)
+    with SimulationService(
+        workers=1, max_attempts=1, heartbeat_timeout=0.6, seed=0
+    ) as svc:
+        job = svc.submit(cfg)
+        with pytest.raises(JobFailed):
+            job.wait(timeout=120)
+        health = svc.health()
+    assert isinstance(job.error, RetryBudgetExhausted)
+    assert "heartbeat_timeout" in job.error.reasons
+    restarts = [
+        e for e in health["events"] if e["event"] == "worker_restart"
+    ]
+    assert any(e["reason"] == "heartbeat_timeout" for e in restarts)
+
+
+def test_corrupt_cache_entry_is_quarantined_and_recomputed():
+    cfg = JobConfig(steps=4, seed=12, **CFG)
+    with SimulationService(workers=1, seed=0) as svc:
+        first = svc.submit(cfg).wait(timeout=120)
+        path = svc.cache.path(svc.jobs["job-0001"].key)
+        with open(path, "r+b") as f:
+            f.seek(30)
+            f.write(b"\xff\xff\xff\xff")
+        again = svc.submit(cfg)
+        assert not again.done  # damage detected: recompute, not serve
+        second = again.wait(timeout=120)
+        health = svc.health()
+    assert bit_identity(second) == bit_identity(first)
+    assert health["cache"]["corrupt"] == 1
+    assert any(
+        e["event"] == "cache_quarantine" for e in health["events"]
+    )
+
+
+def test_submit_after_shutdown_raises():
+    svc = SimulationService(workers=1, seed=0)
+    svc.shutdown()
+    from repro.serve import ServeError
+
+    with pytest.raises(ServeError, match="shut down"):
+        svc.submit(JobConfig(steps=2, seed=1, **CFG))
+    svc.shutdown()  # idempotent

@@ -1,5 +1,7 @@
 """Tests for the unstructured mesh generator."""
 
+import os
+
 import numpy as np
 import pytest
 
@@ -100,3 +102,70 @@ class TestGenerateMesh:
         near = (center < 0.3).sum()
         # far more than the uniform share (~11% of unit cube volume)
         assert near > 0.3 * mesh.n_nodes
+
+
+class TestDiskCacheSelfHealing:
+    """A damaged on-disk mesh entry is quarantined and regenerated."""
+
+    def fill(self, tmp_path):
+        from repro.workloads.mesh import _disk_cache_path, clear_mesh_cache
+
+        cache_dir = str(tmp_path)
+        ref = generate_mesh(100, seed=6, cache_dir=cache_dir)
+        path = _disk_cache_path(
+            cache_dir, (100, 3, 6, True, True)
+        )
+        assert os.path.exists(path)
+        clear_mesh_cache()  # force the next lookup through the disk
+        return cache_dir, path, ref
+
+    def reload(self, cache_dir):
+        return generate_mesh(100, seed=6, cache_dir=cache_dir)
+
+    def assert_healed(self, cache_dir, path, ref):
+        mesh = self.reload(cache_dir)
+        assert np.array_equal(mesh.coords, ref.coords)
+        assert np.array_equal(mesh.edges, ref.edges)
+        # the bad file was moved aside for post-mortem ...
+        assert os.path.exists(f"{path}.quarantine")
+        # ... and a good entry re-persisted in its place
+        assert os.path.exists(path)
+        from repro.workloads.mesh import clear_mesh_cache
+
+        clear_mesh_cache()
+        again = self.reload(cache_dir)
+        assert np.array_equal(again.edges, ref.edges)
+
+    def test_truncated_npz_is_quarantined_and_regenerated(self, tmp_path):
+        cache_dir, path, ref = self.fill(tmp_path)
+        with open(path, "r+b") as f:
+            f.truncate(50)
+        self.assert_healed(cache_dir, path, ref)
+
+    def test_garbage_file_is_quarantined_and_regenerated(self, tmp_path):
+        cache_dir, path, ref = self.fill(tmp_path)
+        with open(path, "wb") as f:
+            f.write(b"not a zip archive at all")
+        self.assert_healed(cache_dir, path, ref)
+
+    def test_wrong_contents_are_quarantined(self, tmp_path):
+        cache_dir, path, ref = self.fill(tmp_path)
+        np.savez(f"{path}.tmp.npz", something_else=np.arange(4))
+        os.replace(f"{path}.tmp.npz", path)
+        self.assert_healed(cache_dir, path, ref)
+
+    def test_wrong_shapes_are_quarantined(self, tmp_path):
+        cache_dir, path, ref = self.fill(tmp_path)
+        np.savez(
+            f"{path}.tmp.npz",
+            coords=np.zeros((3, 10)),
+            edges=np.zeros((5, 7), dtype=np.int64),  # not (2, E)
+        )
+        os.replace(f"{path}.tmp.npz", path)
+        self.assert_healed(cache_dir, path, ref)
+
+    def test_intact_cache_is_not_touched(self, tmp_path):
+        cache_dir, path, ref = self.fill(tmp_path)
+        mesh = self.reload(cache_dir)
+        assert np.array_equal(mesh.edges, ref.edges)
+        assert not os.path.exists(f"{path}.quarantine")
