@@ -4,17 +4,26 @@ Unlike every other bench (which reports *simulated* machine time), this
 one tracks how fast the *simulator itself* runs -- the metric the
 flattened-schedule / array-exchange / flat-DistArray vectorization
 optimizes.  It runs the P=64/128/256/512 Euler no-reuse scenario (50k
-nodes, 20 executor iterations, RCB) and writes
+nodes, 20 executor iterations, RCB) with the runtime's current
+defaults -- pattern coalescing, incremental inspection, and the
+persistent translation cache all on -- and writes
 ``benchmarks/out/BENCH_simspeed.json`` so future PRs can track the
-simulator's own performance trajectory.
+simulator's own performance trajectory.  Each run records the
+translation cache's hit/miss counters; a repeated-inspection scenario
+reporting zero hits means the cache is silently disabled, which
+``check_regression.py`` treats as a hard failure.
 
-Reference points on this host (2026-07), P=256 scenario:
+Reference points on this host, P=256 scenario (the pre-PR-9 rows were
+measured on the historical per-pattern scenario, the PR 9 row on the
+current coalesced+incremental one -- simulated numbers differ, wall
+trend is still comparable):
 
 * per-pair message loops (seed): ~44.3s
 * flattened CSR schedules + array exchange (PR 1): ~6.5s
 * struct-of-arrays Machine counter block + flattened remap (PR 2): ~6.0s
 * flat segmented DistArray storage + versioned global views (PR 3): ~4.2s
 * flat GhostBuffers + vectorized localize/executor (PR 4): ~2.6s
+* persistent translation cache + coalesced scenario (PR 9): ~1.0s
 
 ``benchmarks/check_regression.py`` compares a fresh report against the
 committed ``benchmarks/baseline/BENCH_simspeed.json`` (CI fails on any
@@ -43,7 +52,13 @@ PROC_COUNTS = [64, 128, 256, 512]
 
 #: implementation generation recorded in the JSON so the trajectory of
 #: the simulator's own performance stays attributable across PRs
-IMPLEMENTATION = "flat-ghostbuffers"
+IMPLEMENTATION = "translation-cache"
+
+#: scenario id: the longitudinal scenario now runs the runtime's real
+#: defaults (coalesced schedules, incremental inspection, translation
+#: cache); renamed so stale baselines fail the scenario-match check
+#: instead of comparing incompatible simulated numbers
+SCENARIO = "euler_edge_sweep_no_reuse_coalesced_incremental"
 
 
 def run_simspeed(
@@ -77,8 +92,11 @@ def run_simspeed(
             reuse=False,
             iterations=iterations,
             seed=0,
+            coalesce=True,
+            incremental=True,
         )
         wall = time.perf_counter() - t0
+        cache_stats = res.meta.get("translation_cache", {})
         record = {
             "n_procs": n_procs,
             "wall_seconds": round(wall, 3),
@@ -86,6 +104,8 @@ def run_simspeed(
             "simulated_phases": {k: v for k, v in res.phases.items()},
             "messages": res.meta["messages"],
             "bytes": res.meta["bytes"],
+            "cache_hits": cache_stats.get("hits", 0),
+            "cache_misses": cache_stats.get("misses", 0),
         }
         if profile:
             os.makedirs(OUT_DIR, exist_ok=True)
@@ -100,13 +120,15 @@ def run_simspeed(
                 reuse=False,
                 iterations=iterations,
                 seed=0,
+                coalesce=True,
+                incremental=True,
             )
             pr.disable()
             pr.dump_stats(pstats_path)
             record["pstats"] = os.path.relpath(pstats_path, OUT_DIR)
         scenarios.append(record)
     return {
-        "scenario": "euler_edge_sweep_no_reuse",
+        "scenario": SCENARIO,
         "implementation": IMPLEMENTATION,
         "n_nodes": n_nodes,
         "iterations": iterations,
@@ -130,7 +152,13 @@ def test_simspeed():
     for run in record["runs"]:
         print(
             f"  P={run['n_procs']:>4}  wall={run['wall_seconds']:>7.3f}s  "
-            f"simulated={run['simulated_total']:.3f}s"
+            f"simulated={run['simulated_total']:.3f}s  "
+            f"cache={run['cache_hits']}h/{run['cache_misses']}m"
+        )
+        # repeated inspection with zero cache hits = cache silently off
+        assert run["cache_hits"] > 0, (
+            f"P={run['n_procs']}: translation cache reported zero hits "
+            "on a repeated-inspection scenario"
         )
     # very loose hang guard only -- wall time on shared CI runners is too
     # noisy to gate tightly; regressions are tracked via the JSON artifact

@@ -10,6 +10,11 @@ invariants every optimization PR must keep:
   the baseline exactly for every processor count both files cover.  Any
   drift fails the job (exit 1): the vectorized runtime is only allowed
   to change *wall* time, never the modeled machine.
+* **The translation cache is actually engaged.**  The scenario
+  re-inspects an unchanged loop every iteration, so a run reporting
+  zero ``cache_hits`` means the persistent translation cache was
+  silently disabled or its keying broke -- a hard failure (exit 1),
+  since the wall numbers would no longer measure the cached runtime.
 * **Wall time does not regress quietly.**  For the processor counts
   checked (default: P=64, the CI smoke run), wall time more than
   ``--wall-tolerance`` (default 25%) above baseline emits a GitHub
@@ -91,6 +96,13 @@ def compare(baseline: dict, current: dict, wall_procs, wall_tolerance: float):
                     f"{cur[key]!r} != baseline {base[key]!r}"
                 )
                 errors += 1
+        if "cache_hits" in cur and cur["cache_hits"] == 0:
+            _fail(
+                f"P={n_procs}: zero translation-cache hits on a "
+                "repeated-inspection scenario -- cache disabled or "
+                "keying broken"
+            )
+            errors += 1
         base_phases = base.get("simulated_phases", {})
         cur_phases = cur.get("simulated_phases", {})
         if set(base_phases) != set(cur_phases):

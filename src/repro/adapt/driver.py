@@ -199,6 +199,7 @@ class IncrementalInspector:
                     changed,
                     self._ttables_for(record),
                     costs=self.program.costs,
+                    cache=self.program.translation_cache,
                 )
                 self._verify_patch(loop, result)
             except (PatchError, InvariantViolation) as exc:

@@ -41,6 +41,7 @@ import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
 from repro.chaos.localize import LocalizeResult, sorted_unique_inverse
+from repro.chaos.transcache import KeyTranslationMemo, TranslationCache
 from repro.chaos.ttable import TranslationTable
 from repro.core.executor import patch_exec_caches
 from repro.core.inspector import InspectorProduct, PatternData
@@ -59,83 +60,6 @@ from repro.machine.machine import Machine
 DIFF_IOPS_PER_ELEMENT = 2.0
 
 _EMPTY = np.empty(0, dtype=np.int64)
-
-
-class _PatchTranslationCache:
-    """Per-patch dereference cache shared by the loop's pattern groups.
-
-    Patterns of one loop overwhelmingly reference the same elements
-    (``x(edge(i))`` and ``y(edge(i))`` share every target), so their
-    unknown-delta translations are near-identical.  Within one patch the
-    distributions are frozen, so a translation resolved for one group
-    can be served to the next from a local cache: each processor pays a
-    hash probe instead of a remote page request.  Keyed by distribution
-    signature; one sorted composite-key array per signature.
-    """
-
-    def __init__(self) -> None:
-        self._by_sig: dict[tuple, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
-
-    def has_entries(self, sig: tuple) -> bool:
-        """Whether a probe against ``sig`` would hit a non-empty cache."""
-        cached = self._by_sig.get(sig)
-        return cached is not None and bool(cached[0].size)
-
-    def translate(
-        self,
-        machine: Machine,
-        ttable: TranslationTable,
-        stride: int,
-        uniq_proc: np.ndarray,
-        uniq_key: np.ndarray,
-        costs: ChaosCosts,
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """(owner, lidx) for per-proc-sorted unique (proc, key) pairs."""
-        n = machine.n_procs
-        sig = ttable.dist.signature()
-        owner = np.empty(uniq_key.size, dtype=np.int64)
-        lidx = np.empty(uniq_key.size, dtype=np.int64)
-        comp = uniq_proc * stride + uniq_key
-        cached = self._by_sig.get(sig)
-        if cached is not None and cached[0].size:
-            ccomp, cowner, clidx = cached
-            pos = np.searchsorted(ccomp, comp)
-            hit = (pos < ccomp.size) & (
-                ccomp[np.minimum(pos, ccomp.size - 1)] == comp
-            )
-            # every processor probes its cache once per key
-            machine.charge_compute_all(
-                iops=costs.hash_lookup
-                * np.bincount(uniq_proc, minlength=n).astype(np.float64)
-            )
-        else:
-            hit = np.zeros(comp.size, dtype=bool)
-        if hit.any():
-            cpos = pos[hit]
-            owner[hit] = cowner[cpos]
-            lidx[hit] = clidx[cpos]
-        miss = ~hit
-        miss_key = uniq_key[miss]
-        miss_proc = uniq_proc[miss]
-        m_bounds = np.zeros(n + 1, dtype=np.int64)
-        np.cumsum(np.bincount(miss_proc, minlength=n), out=m_bounds[1:])
-        mowner, mlidx = ttable.dereference_flat(miss_key, m_bounds)
-        owner[miss] = mowner
-        lidx[miss] = mlidx
-        if miss.any():
-            mcomp = comp[miss]
-            if cached is None or not cached[0].size:
-                merged = (mcomp, mowner, mlidx)
-            else:
-                allc = np.concatenate([cached[0], mcomp])
-                order = np.argsort(allc, kind="stable")
-                merged = (
-                    allc[order],
-                    np.concatenate([cached[1], mowner])[order],
-                    np.concatenate([cached[2], mlidx])[order],
-                )
-            self._by_sig[sig] = merged
-        return owner, lidx
 
 
 class _DeltaCache:
@@ -289,7 +213,7 @@ def _patch_group(
     new_iter_flat: np.ndarray,
     new_bounds: np.ndarray,
     costs: ChaosCosts,
-    trans_cache: "_PatchTranslationCache",
+    trans_cache: KeyTranslationMemo,
 ) -> tuple[dict, dict, GroupState] | None:
     """Patch one pattern group; returns (new PatternData by key, stats,
     updated GroupState to persist, twin pack) or ``None`` when the group
@@ -705,7 +629,7 @@ def _patch_group_twin(
     member_keys: list,
     ttable: TranslationTable,
     pack: dict,
-    trans_cache: _PatchTranslationCache,
+    trans_cache: KeyTranslationMemo,
     sig: tuple,
     costs: ChaosCosts,
 ) -> tuple[dict, dict, GroupState]:
@@ -790,6 +714,7 @@ def patch_product(
     changed: dict[str, np.ndarray],
     ttables: dict[tuple[str, tuple], TranslationTable],
     costs: ChaosCosts = DEFAULT_COSTS,
+    cache: TranslationCache | None = None,
 ) -> PatchResult:
     """Patch ``product`` for the given changed indirection positions.
 
@@ -844,7 +769,13 @@ def patch_product(
     patterns_new: dict = dict(product.patterns)
     pending_states: dict = {}
     any_patched = False
-    trans_cache = _PatchTranslationCache()
+    # per-patch key-translation memo: obtained through the shared
+    # TranslationCache when the program runs one (a thin view -- the
+    # memo itself must stay patch-local so each patch's charging is
+    # independent of history), standalone otherwise
+    trans_cache = (
+        cache.patch_view() if cache is not None else KeyTranslationMemo()
+    )
     deltas = _DeltaCache(
         arrays, changed, changed_iters, moved,
         home_old, home_new, inv_old, inv_new,

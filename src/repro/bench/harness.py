@@ -85,6 +85,7 @@ def _run_loop_phase(
                 costs=prog.costs,
                 ttables=prog.ttables,
                 coalesce_patterns=prog.coalesce_patterns,
+                cache=prog.translation_cache,
             )
         with machine.phase("executor"):
             run_executor(machine, product, prog.arrays, n_times=iterations)
@@ -100,6 +101,7 @@ def _run_loop_phase(
                     costs=prog.costs,
                     ttables=prog.ttables,
                     coalesce_patterns=prog.coalesce_patterns,
+                    cache=prog.translation_cache,
                 )
             with machine.phase("executor"):
                 run_executor(machine, product, prog.arrays, n_times=1)
@@ -143,6 +145,10 @@ def _collect(prog: IrregularProgram, spec: dict) -> ExperimentResult:
         "messages": int(machine.counters.messages_sent.sum()),
         "bytes": int(machine.counters.bytes_sent.sum()),
     }
+    if prog.translation_cache is not None:
+        res.meta["translation_cache"] = prog.translation_cache.stats()
+    if prog.adapt is not None:
+        res.meta["patch_hits"] = prog.patch_hits
     return res
 
 
@@ -156,13 +162,16 @@ def run_euler_experiment(
     cost_model: CostModel = IPSC860,
     seed: int = 0,
     coalesce: bool = False,
+    incremental: bool = False,
 ) -> ExperimentResult:
     """One unstructured-mesh edge-sweep experiment (Tables 1-4).
 
     ``coalesce`` is pinned ``False`` (per-pattern schedules) even though
     the runtime's default is now coalescing: the Tables 1-4 golden
-    fixtures and the committed simspeed baseline were produced by this
-    scenario definition and must stay bit-identical across PRs.
+    fixtures were produced by this scenario definition and must stay
+    bit-identical across PRs.  ``incremental`` enables the adaptive
+    patching subsystem (compiler path only -- it needs the runtime
+    record); the longitudinal simspeed scenario turns both on.
     """
     if path not in ("compiler", "hand"):
         raise ValueError(f"unknown path {path!r}; choose compiler | hand")
@@ -173,6 +182,7 @@ def run_euler_experiment(
         seed=seed,
         track=(path == "compiler"),
         coalesce_patterns=coalesce,
+        incremental=incremental and path == "compiler",
         executor_overhead=(
             COMPILER_EXECUTOR_OVERHEAD if path == "compiler" else 1.0
         ),

@@ -42,6 +42,7 @@ import numpy as np
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
 from repro.chaos.flatrefs import FlatRefs
 from repro.chaos.schedule import CommSchedule
+from repro.chaos.transcache import ChargeLog, LocalizeEntry, TranslationCache
 from repro.chaos.ttable import TranslationTable
 from repro.machine.machine import Machine
 
@@ -177,8 +178,10 @@ class LocalizeResult:
 def localize(
     machine: Machine,
     ttable: TranslationTable,
-    ref_lists: "list[np.ndarray] | FlatRefs",
+    ref_lists,
     costs: ChaosCosts = DEFAULT_COSTS,
+    cache: TranslationCache | None = None,
+    cache_key: "tuple[tuple, tuple] | None" = None,
 ) -> LocalizeResult:
     """Run the localize primitive for one access pattern.
 
@@ -190,17 +193,44 @@ def localize(
         Translation table of the *data* array's distribution.
     ref_lists:
         The global indices each processor's iterations dereference
-        (repeats allowed and common): either a :class:`FlatRefs` or a
-        per-processor list of arrays.
+        (repeats allowed and common): a :class:`FlatRefs`, a
+        per-processor list of arrays, or a zero-argument callable
+        producing either -- the callable form lets a cache hit skip
+        building the reference stream altogether.
+    cache / cache_key:
+        Optional persistent :class:`TranslationCache` plus the caller's
+        ``(slot, version)`` key for this pattern (built from
+        ``repro.core.cachekey`` tokens).  On a hit the saved product is
+        returned (fresh :class:`LocalizeResult`, ``schedule.twin()``,
+        shared frozen arrays) and the cold run's recorded charges are
+        replayed -- simulated numbers are bit-identical either way.
     """
     n = machine.n_procs
+    caching = cache is not None and cache_key is not None
+    if caching:
+        entry = cache.get(*cache_key)
+        if entry is not None:
+            entry.charges.replay(machine)
+            return LocalizeResult(
+                local_sizes=entry.local_sizes,
+                schedule=entry.schedule.twin(),
+                refs_flat=entry.refs_flat,
+                ref_bounds=entry.ref_bounds,
+                ghost_flat=entry.ghost_flat,
+                ghost_bounds=entry.ghost_bounds,
+            )
+    if callable(ref_lists):
+        ref_lists = ref_lists()
     refs = FlatRefs.from_lists(ref_lists)
     if refs.n_procs != n:
         raise ValueError(f"expected {n} reference lists, got {refs.n_procs}")
+    # a recording sink forwards every charge unchanged, so a cold fill
+    # charges exactly what an uncached run would
+    sink = ChargeLog(machine) if caching else machine
     dist = ttable.dist
     flat_refs = refs.values
     sizes = refs.sizes()
-    flat_owner, flat_lidx = ttable.dereference_flat(flat_refs, refs.bounds)
+    flat_owner, flat_lidx = ttable.dereference_flat(flat_refs, refs.bounds, sink=sink)
 
     local_sizes_arr = dist.local_sizes()
     flat_pid = np.repeat(np.arange(n, dtype=np.int64), sizes)
@@ -267,7 +297,7 @@ def localize(
     # reference, an insert per unique ghost, schedule build + buffer
     # assignment, and a localized-index rewrite probe per off-proc ref
     ghost_f = ghost_counts.astype(np.float64)
-    machine.charge_compute_all(
+    sink.charge_compute_all(
         iops=(
             costs.hash_lookup * sizes.astype(np.float64)
             + costs.hash_insert * ghost_f
@@ -282,7 +312,7 @@ def localize(
     # their send lists.  Pairs are already requester-major / owner-minor
     # ascending — the same order the dense-matrix nonzero scan produced.
     cross = pair_p != pair_q
-    machine.exchange(
+    sink.exchange(
         src=pair_p[cross],
         dst=pair_q[cross],
         nbytes=pair_counts[cross] * costs.index_bytes,
@@ -290,8 +320,8 @@ def localize(
     owner_record = np.bincount(
         pair_q, weights=pair_counts.astype(np.float64), minlength=n
     )
-    machine.charge_compute_all(iops=costs.schedule_build * owner_record)
-    machine.barrier()
+    sink.charge_compute_all(iops=costs.schedule_build * owner_record)
+    sink.barrier()
 
     schedule = CommSchedule.from_flat(
         machine,
@@ -304,7 +334,7 @@ def localize(
         ghost_sizes,
         costs=costs,
     )
-    return LocalizeResult(
+    result = LocalizeResult(
         local_sizes=[int(s) for s in local_sizes_arr],
         schedule=schedule,
         refs_flat=localized_flat,
@@ -312,3 +342,18 @@ def localize(
         ghost_flat=ugidx,
         ghost_bounds=ghost_bounds,
     )
+    if caching:
+        cache.put(
+            cache_key[0],
+            cache_key[1],
+            LocalizeEntry(
+                charges=sink,
+                schedule=schedule,
+                local_sizes=result.local_sizes,
+                refs_flat=localized_flat,
+                ref_bounds=ref_bounds,
+                ghost_flat=ugidx,
+                ghost_bounds=ghost_bounds,
+            ),
+        )
+    return result

@@ -11,11 +11,22 @@ irregular distributions PARTI/CHAOS kept an explicit table, either
   the page's owner and a reply.  This is CHAOS's scalable default and the
   variant whose communication shows up in the paper's inspector times.
 
-Both variants return identical translations; they differ only in what
-they charge the machine.  ``dereference`` operates on one requesting
-processor's reference list at a time; ``dereference_all`` batches the
-request/reply exchanges of all processors into two machine phases, the
-way CHAOS's loosely synchronous dereference actually behaved.
+All variants return identical translations; they differ only in what
+they charge the machine.  That split is the :class:`Translator`
+protocol: the base class owns the *translation* (one validated
+``Distribution.translate`` pass) and the single flat/batched/per-
+processor dereference skeleton, while each table kind supplies only its
+two charging hooks (``_charge_one`` for one requesting processor,
+``_charge_flat`` for the loosely synchronous batched phase).
+``dereference`` operates on one requesting processor's reference list at
+a time; ``dereference_all``/``dereference_flat`` batch the request/reply
+exchanges of all processors into two machine phases, the way CHAOS's
+loosely synchronous dereference actually behaved.
+
+Charging hooks take an explicit **sink** -- normally the machine itself,
+but the persistent :class:`~repro.chaos.transcache.TranslationCache`
+passes a recording :class:`~repro.chaos.transcache.ChargeLog` so a cold
+localize can replay its exact charge sequence on later warm hits.
 """
 
 from __future__ import annotations
@@ -32,8 +43,13 @@ from repro.machine.collectives import allgather_cost
 from repro.machine.machine import Machine
 
 
-class TranslationTable(ABC):
-    """Maps global indices of one distribution to (owner, local offset)."""
+class Translator(ABC):
+    """Maps global indices of one distribution to (owner, local offset).
+
+    Concrete tables implement the two charging hooks; translation and
+    the dereference entry points are shared.  ``sink`` is the charge
+    target for the flat path (defaults to the table's machine).
+    """
 
     def __init__(self, machine: Machine, dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS):
         if dist.n_procs != machine.n_procs:
@@ -45,10 +61,27 @@ class TranslationTable(ABC):
         self.dist = dist
         self.costs = costs
 
+    # -- charging hooks (the only per-kind code) ---------------------------
     @abstractmethod
+    def _charge_one(self, sink, p: int, g: np.ndarray) -> None:
+        """Charge one requesting processor's dereference of ``g``."""
+
+    @abstractmethod
+    def _charge_flat(self, sink, values: np.ndarray, bounds: np.ndarray) -> None:
+        """Charge the batched dereference of flat CSR ``(values, bounds)``.
+
+        Must be bit-identical to per-processor :meth:`_charge_one` calls
+        over the equivalent lists combined into whole-machine phases.
+        """
+
+    # -- shared dereference skeleton ---------------------------------------
     def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         """Translate processor ``p``'s reference list; charges ``p`` (and,
         for the distributed table, the page owners)."""
+        g = np.asarray(gidx, dtype=np.int64)
+        owners, lidx = self._translate(g)
+        self._charge_one(self.machine, p, g)
+        return owners, lidx
 
     def dereference_all(
         self, ref_lists: list[np.ndarray]
@@ -57,7 +90,7 @@ class TranslationTable(ABC):
         return [self.dereference(p, refs) for p, refs in enumerate(ref_lists)]
 
     def dereference_flat(
-        self, values: np.ndarray, bounds: np.ndarray
+        self, values: np.ndarray, bounds: np.ndarray, sink=None
     ) -> tuple[np.ndarray, np.ndarray]:
         """Flat-form batched dereference: one translation for all processors.
 
@@ -65,18 +98,12 @@ class TranslationTable(ABC):
         ``bounds`` is the ``(P + 1,)`` CSR bound array (processor ``p``'s
         refs are ``values[bounds[p]:bounds[p+1]]``).  Returns flat
         ``(owners, local_offsets)`` aligned with ``values``.  Charges are
-        bit-identical to :meth:`dereference_all` on the equivalent lists;
-        the generic implementation delegates to it, and the concrete
-        tables override with loop-free versions.
+        bit-identical to :meth:`dereference_all` on the equivalent lists
+        and go to ``sink`` (the machine, or a recording charge log).
         """
-        results = self.dereference_all(FlatRefs(values, bounds).segments())
-        if not values.size:
-            empty = np.empty(0, dtype=np.int64)
-            return empty, empty
-        return (
-            np.concatenate([o for o, _ in results]),
-            np.concatenate([l for _, l in results]),
-        )
+        owners, lidx = self._translate(values)
+        self._charge_flat(self.machine if sink is None else sink, values, bounds)
+        return owners, lidx
 
     def _translate(self, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
         g = np.asarray(gidx, dtype=np.int64)
@@ -87,32 +114,37 @@ class TranslationTable(ABC):
         )
 
 
-class RegularTranslationTable(TranslationTable):
+#: historical name, kept for callers/tests that type against it
+TranslationTable = Translator
+
+
+class RegularTranslationTable(Translator):
     """Closed-form translation for block/cyclic/block-cyclic distributions."""
 
-    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        owners, lidx = self._translate(gidx)
-        self.machine.charge_compute(
-            p, iops=self.costs.translate_regular * len(owners)
+    _per_ref_cost_field = "translate_regular"
+
+    def _charge_one(self, sink, p: int, g: np.ndarray) -> None:
+        sink.charge_compute(
+            p, iops=getattr(self.costs, self._per_ref_cost_field) * g.size
         )
-        return owners, lidx
 
-    def dereference_flat(
-        self, values: np.ndarray, bounds: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        owners, lidx = self._translate(values)
-        self.machine.charge_compute_all(
-            iops=self.costs.translate_regular * np.diff(bounds).astype(np.float64)
+    def _charge_flat(self, sink, values: np.ndarray, bounds: np.ndarray) -> None:
+        sink.charge_compute_all(
+            iops=getattr(self.costs, self._per_ref_cost_field)
+            * np.diff(bounds).astype(np.float64)
         )
-        return owners, lidx
 
 
-class ReplicatedTranslationTable(TranslationTable):
+class ReplicatedTranslationTable(RegularTranslationTable):
     """Full owner/offset map on every processor.
 
     Construction models the all-gather of locally known fragments
-    (every processor initially knows only the elements it received).
+    (every processor initially knows only the elements it received);
+    dereference charges the replicated-lookup cost per reference but is
+    otherwise the regular table's local closed-form shape.
     """
+
+    _per_ref_cost_field = "translate_replicated"
 
     def __init__(self, machine: Machine, dist: Distribution, costs: ChaosCosts = DEFAULT_COSTS):
         super().__init__(machine, dist, costs)
@@ -121,24 +153,8 @@ class ReplicatedTranslationTable(TranslationTable):
         allgather_cost(machine, frag * 2 * 4)  # two 32-bit words per element
         machine.charge_compute_all(iops=float(dist.size) * 1.0)  # table fill
 
-    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        owners, lidx = self._translate(gidx)
-        self.machine.charge_compute(
-            p, iops=self.costs.translate_replicated * len(owners)
-        )
-        return owners, lidx
 
-    def dereference_flat(
-        self, values: np.ndarray, bounds: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        owners, lidx = self._translate(values)
-        self.machine.charge_compute_all(
-            iops=self.costs.translate_replicated * np.diff(bounds).astype(np.float64)
-        )
-        return owners, lidx
-
-
-class DistributedTranslationTable(TranslationTable):
+class DistributedTranslationTable(Translator):
     """Paged table: pages block-distributed over processors.
 
     Dereferencing a reference list costs, per distinct page owner:
@@ -167,42 +183,71 @@ class DistributedTranslationTable(TranslationTable):
         machine.charge_compute_all(iops=2.0 * fill)
         machine.barrier()
 
-    def _page_request_counts(self, p: int, g: np.ndarray) -> np.ndarray:
-        """Per-page-owner request counts for one reference list (shared by
-        the batched and non-batched dereference paths)."""
-        counts = np.zeros(self.machine.n_procs, dtype=np.int64)
-        if g.size:
-            page_owner = np.asarray(self.pages.owner(g), dtype=np.int64)
-            np.add.at(counts, page_owner, 1)
-        return counts
+    def _page_owner(self, g: np.ndarray) -> np.ndarray:
+        """Page owner of already-validated global indices.
 
-    def dereference(self, p: int, gidx: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        g = np.asarray(gidx, dtype=np.int64)
-        owners, lidx = self._translate(g)
-        if g.size:
-            m = self.machine
-            counts = self._page_request_counts(p, g)
-            if counts[p]:
-                # pages this processor itself owns: local table lookups
-                m.charge_compute(
-                    p, iops=self.costs.translate_replicated * int(counts[p])
-                )
-                counts[p] = 0
-            uq = np.flatnonzero(counts)
-            if uq.size:
-                # request exchange (indices), probes at the owners, reply
-                # exchange (pairs) -- the batched kernel's three steps,
-                # restricted to one requester, with no per-owner loop
-                cnt = counts[uq]
-                req_p = np.full(uq.size, p, dtype=np.int64)
-                m.exchange(src=req_p, dst=uq, nbytes=cnt * self.costs.index_bytes)
-                probe = np.zeros(m.n_procs)
-                probe[uq] = self.costs.translate_remote * cnt
-                m.charge_compute_all(iops=probe)
-                m.exchange(
-                    src=uq, dst=req_p, nbytes=cnt * 2 * self.costs.index_bytes
-                )
-        return owners, lidx
+        ``g`` went through ``Distribution.translate`` (one range check)
+        before any charging hook runs, so the page table's own
+        validation pass -- a second min/max scan over the whole stream
+        -- is skipped in favor of the block table's closed-form
+        division.
+        """
+        chunk = self.pages.chunk
+        return g // chunk if chunk else g
+
+    def _charge_one(self, sink, p: int, g: np.ndarray) -> None:
+        if not g.size:
+            return
+        counts = np.bincount(self._page_owner(g), minlength=self.machine.n_procs)
+        if counts[p]:
+            # pages this processor itself owns: local table lookups
+            sink.charge_compute(
+                p, iops=self.costs.translate_replicated * int(counts[p])
+            )
+            counts[p] = 0
+        uq = np.flatnonzero(counts)
+        if uq.size:
+            # request exchange (indices), probes at the owners, reply
+            # exchange (pairs) -- the batched kernel's three steps,
+            # restricted to one requester, with no per-owner loop
+            cnt = counts[uq]
+            req_p = np.full(uq.size, p, dtype=np.int64)
+            sink.exchange(src=req_p, dst=uq, nbytes=cnt * self.costs.index_bytes)
+            probe = np.zeros(self.machine.n_procs)
+            probe[uq] = self.costs.translate_remote * cnt
+            sink.charge_compute_all(iops=probe)
+            sink.exchange(
+                src=uq, dst=req_p, nbytes=cnt * 2 * self.costs.index_bytes
+            )
+
+    def _charge_flat(self, sink, values: np.ndarray, bounds: np.ndarray) -> None:
+        """Batched paged-table charging: one page-owner bincount plus the
+        request/probe/reply exchange phases, all count arithmetic -- no
+        Python loop over processors and no re-validation scans."""
+        n = self.machine.n_procs
+        req_counts = np.zeros((n, n), dtype=np.int64)
+        if values.size:
+            page_owner = self._page_owner(np.asarray(values, dtype=np.int64))
+            pid = np.repeat(
+                np.arange(n, dtype=np.int64), np.diff(bounds).astype(np.int64)
+            )
+            req_counts = np.bincount(
+                pid * n + page_owner, minlength=n * n
+            ).reshape(n, n)
+        # request exchange (indices), probe at owners, reply exchange (pairs)
+        off_diag = req_counts.copy()
+        np.fill_diagonal(off_diag, 0)
+        req_p, req_q = np.nonzero(off_diag)
+        pair_counts = off_diag[req_p, req_q]
+        sink.exchange(
+            src=req_p, dst=req_q, nbytes=pair_counts * self.costs.index_bytes
+        )
+        probe = req_counts.sum(axis=0).astype(float)
+        sink.charge_compute_all(iops=self.costs.translate_remote * probe)
+        sink.exchange(
+            src=req_q, dst=req_p, nbytes=pair_counts * 2 * self.costs.index_bytes
+        )
+        sink.barrier()
 
     def dereference_all(
         self, ref_lists: list[np.ndarray]
@@ -225,45 +270,13 @@ class DistributedTranslationTable(TranslationTable):
             for p in range(n)
         ]
 
-    def dereference_flat(
-        self, values: np.ndarray, bounds: np.ndarray
-    ) -> tuple[np.ndarray, np.ndarray]:
-        """Flat batched dereference: one translation, one page-owner
-        bincount, and the request/probe/reply exchange phases — no Python
-        loop over processors."""
-        m = self.machine
-        n = m.n_procs
-        owners, lidx = self._translate(values)
-        req_counts = np.zeros((n, n), dtype=np.int64)
-        if values.size:
-            page_owner = np.asarray(self.pages.owner(values), dtype=np.int64)
-            pid = np.repeat(
-                np.arange(n, dtype=np.int64), np.diff(bounds).astype(np.int64)
-            )
-            req_counts = np.bincount(
-                pid * n + page_owner, minlength=n * n
-            ).reshape(n, n)
-        # request exchange (indices), probe at owners, reply exchange (pairs)
-        off_diag = req_counts.copy()
-        np.fill_diagonal(off_diag, 0)
-        req_p, req_q = np.nonzero(off_diag)
-        pair_counts = off_diag[req_p, req_q]
-        m.exchange(src=req_p, dst=req_q, nbytes=pair_counts * self.costs.index_bytes)
-        probe = req_counts.sum(axis=0).astype(float)
-        m.charge_compute_all(iops=self.costs.translate_remote * probe)
-        m.exchange(
-            src=req_q, dst=req_p, nbytes=pair_counts * 2 * self.costs.index_bytes
-        )
-        m.barrier()
-        return owners, lidx
-
 
 def build_translation_table(
     machine: Machine,
     dist: Distribution,
     costs: ChaosCosts = DEFAULT_COSTS,
     variant: str = "auto",
-) -> TranslationTable:
+) -> Translator:
     """Build the right translation table for a distribution.
 
     ``variant``: "auto" (regular -> closed form, irregular -> distributed),

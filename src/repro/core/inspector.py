@@ -24,9 +24,15 @@ import numpy as np
 from repro.chaos.buffers import GhostBuffers
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
 from repro.chaos.localize import FlatRefs, LocalizeResult, localize
+from repro.chaos.transcache import TranslationCache
 from repro.chaos.ttable import TranslationTable, build_translation_table
+from repro.core import cachekey
 from repro.core.forall import Assign, ForallLoop
-from repro.core.iteration import IterationPartition, partition_iterations
+from repro.core.iteration import (
+    IterationPartition,
+    partition_cache_key,
+    partition_iterations,
+)
 from repro.distribution.distarray import DistArray
 from repro.machine.machine import Machine
 
@@ -78,6 +84,7 @@ def run_inspector(
     costs: ChaosCosts = DEFAULT_COSTS,
     ttables: dict[tuple[str, tuple], TranslationTable] | None = None,
     coalesce_patterns: bool = True,
+    cache: TranslationCache | None = None,
 ) -> InspectorProduct:
     """Run the full inspector for ``loop``.
 
@@ -94,13 +101,29 @@ def run_inspector(
     per-pattern baseline; ``bench_ablation_coalescing`` measures the
     gap, and the longitudinal bench scenarios pin it for comparability
     with their committed baselines).
+
+    ``cache`` is the persistent cross-execution
+    :class:`~repro.chaos.transcache.TranslationCache`: re-inspections of
+    unchanged patterns (and unchanged iteration partitions) skip the
+    translation/dedup/vote kernels and replay the saved simulated
+    charges.  Simulated numbers are bit-identical with or without it.
     """
     for name in loop.data_arrays() + loop.indirection_arrays():
         if name not in arrays:
             raise KeyError(f"loop {loop.name!r} references unbound array {name!r}")
 
-    # Phase B: iteration partition
-    itpart = partition_iterations(machine, loop, arrays, iter_method, costs)
+    # Phase B: iteration partition.  The partition key doubles as a
+    # component of every localize key below: reference streams are
+    # gathered in iteration order, so equal partition keys are what
+    # makes equal indirection content imply equal streams.
+    part_key = (
+        partition_cache_key(loop, arrays, iter_method, machine.n_procs)
+        if cache is not None
+        else None
+    )
+    itpart = partition_iterations(
+        machine, loop, arrays, iter_method, costs, cache=cache, cache_key=part_key
+    )
 
     # Phase D: localize every distinct access pattern
     n_procs = machine.n_procs
@@ -151,6 +174,37 @@ def run_inspector(
         s.lhs.array for s in loop.statements if isinstance(s, Assign)
     }
 
+    def loc_cache_key(tt, dist, indexes: tuple) -> "tuple[tuple, tuple] | None":
+        """(slot, version) for one localize product, or None when uncached.
+
+        The slot deliberately excludes the data array's *name*: sibling
+        arrays referenced through the same indirections over the same
+        distribution (``x(edge(i))`` / ``y(edge(i))``) produce
+        bit-identical products and share one entry -- a warm hit even
+        within a single cold inspection.  The version folds in the full
+        partition key: reference streams are gathered in iteration
+        order.
+        """
+        if cache is None:
+            return None
+        slot = (
+            "localize",
+            loop.name,
+            indexes,
+            type(tt).__name__,
+            costs,
+            n_procs,
+        )
+        version = (
+            cachekey.dist_key(dist),
+            tuple(
+                "direct" if ix is None else cachekey.content_key(arrays[ix])
+                for ix in indexes
+            ),
+            part_key,
+        )
+        return slot, version
+
     for array_name, indexes in by_array.items():
         arr = arrays[array_name]
         tt = get_ttable(array_name)
@@ -160,28 +214,50 @@ def run_inspector(
             or array_name in assign_targets
         ):
             for index in indexes:
-                loc = localize(machine, tt, per_proc_refs(index), costs)
+                loc = localize(
+                    machine,
+                    tt,
+                    lambda index=index: per_proc_refs(index),
+                    costs,
+                    cache=cache,
+                    cache_key=loc_cache_key(tt, arr.distribution, (index,)),
+                )
                 ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
                 patterns[(array_name, index)] = PatternData(
                     array=array_name, index=index, localized=loc, ghosts=ghosts
                 )
             continue
-        # coalesced: localize the union of all patterns' reference lists
-        per_pattern = [per_proc_refs(index) for index in indexes]
-        combined = [
-            np.concatenate([fr.segment(p) for fr in per_pattern])
-            if any(fr.segment(p).size for fr in per_pattern)
-            else np.empty(0, dtype=np.int64)
-            for p in range(n_procs)
-        ]
-        loc = localize(machine, tt, combined, costs)
+
+        # coalesced: localize the union of all patterns' reference lists.
+        # Every pattern's per-processor segment has the same size (all
+        # reference streams are gathers over the iteration partition), so
+        # the concatenation is built lazily -- a warm cache hit skips it
+        # -- and the split back out is pure size arithmetic.
+        def combined_refs(indexes=indexes) -> list:
+            per_pattern = [per_proc_refs(index) for index in indexes]
+            return [
+                np.concatenate([fr.segment(p) for fr in per_pattern])
+                if any(fr.segment(p).size for fr in per_pattern)
+                else np.empty(0, dtype=np.int64)
+                for p in range(n_procs)
+            ]
+
+        loc = localize(
+            machine,
+            tt,
+            combined_refs,
+            costs,
+            cache=cache,
+            cache_key=loc_cache_key(tt, arr.distribution, tuple(indexes)),
+        )
         ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
         # split the localized reference lists back out per pattern
+        seg_sizes = np.diff(iter_bounds)
         for k, index in enumerate(indexes):
             split_refs = []
             for p in range(n_procs):
-                start = sum(per_pattern[j].segment(p).size for j in range(k))
-                stop = start + per_pattern[k].segment(p).size
+                start = k * int(seg_sizes[p])
+                stop = start + int(seg_sizes[p])
                 split_refs.append(loc.local_refs[p][start:stop])
             view = LocalizeResult(
                 local_refs=split_refs,

@@ -31,6 +31,8 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
+from repro.chaos.transcache import ChargeLog, PartitionEntry, TranslationCache
+from repro.core import cachekey
 from repro.core.forall import ForallLoop
 from repro.distribution.distarray import DistArray
 from repro.distribution.regular import BlockDistribution
@@ -117,7 +119,10 @@ def _ref_owners(
                     f"indirection array {ref.index!r} has size {ind.size}, "
                     f"loop {loop.name!r} iterates {n}"
                 )
-            sig = dist.signature()
+            # (distribution signature, content version) keying from the
+            # shared repro.core.cachekey vocabulary; one row per
+            # signature, replaced when the indirection mutates
+            sig = cachekey.dist_key(dist)
             per_ind = _INDIRECT_OWNER_CACHE.setdefault(ind, {})
             hit = per_ind.get(sig)
             if hit is not None and hit[0] == ind.version:
@@ -197,18 +202,55 @@ def partition_from_home(
     return IterationPartition(n, iters, method, flat=order, bounds=bounds)
 
 
+def partition_cache_key(
+    loop: ForallLoop,
+    arrays: dict[str, DistArray],
+    method: str,
+    n_procs: int,
+) -> tuple[tuple, tuple]:
+    """``(slot, version)`` key of one loop's iteration partition.
+
+    The partition is a pure function of the voted references' owner
+    rows, so the slot pins the structure (loop, size, machine width,
+    method, reference shape) and the version pins the content: one
+    :func:`repro.core.cachekey.source_key` token per voted reference.
+    ``run_inspector`` folds the full key into its localize keys -- equal
+    partition keys imply identical iteration order, which localize's
+    reference streams depend on.
+    """
+    refs = method_refs(loop, method)
+    slot = (
+        "partition",
+        loop.name,
+        loop.n_iterations,
+        n_procs,
+        method,
+        tuple((ref.array, ref.index) for ref in refs),
+    )
+    version = tuple(cachekey.source_key(arrays, ref) for ref in refs)
+    return slot, version
+
+
 def partition_iterations(
     machine: Machine,
     loop: ForallLoop,
     arrays: dict[str, DistArray],
     method: str = "almost_owner",
     costs: ChaosCosts = DEFAULT_COSTS,
+    cache: TranslationCache | None = None,
+    cache_key: "tuple[tuple, tuple] | None" = None,
 ) -> IterationPartition:
     """Partition ``loop``'s iterations among the machine's processors.
 
     ``method`` is ``"almost_owner"`` (paper default: majority vote over
     all the iteration's references, ties to the lowest processor) or
     ``"owner_computes"`` (home of the first statement's left-hand side).
+
+    With a :class:`TranslationCache`, an unchanged loop (same
+    :func:`partition_cache_key`) skips the vote/group kernels and
+    replays the cold run's simulated charges; ``cache_key`` may be
+    passed precomputed (``run_inspector`` shares it with its localize
+    keys) or is derived here.
     """
     n = loop.n_iterations
     n_procs = machine.n_procs
@@ -222,6 +264,19 @@ def partition_iterations(
             flat=np.empty(0, dtype=np.int64),
             bounds=np.zeros(n_procs + 1, dtype=np.int64),
         )
+    if cache is not None:
+        if cache_key is None:
+            cache_key = partition_cache_key(loop, arrays, method, n_procs)
+        entry = cache.get(*cache_key)
+        if entry is not None:
+            entry.charges.replay(machine)
+            iters = [
+                entry.flat[entry.bounds[p] : entry.bounds[p + 1]]
+                for p in range(n_procs)
+            ]
+            return IterationPartition(
+                n, iters, method, flat=entry.flat, bounds=entry.bounds
+            )
 
     # cached per-reference owner rows feed the vote directly: no stacked
     # (k, n) owner matrix, no re-gather for repeated indirections
@@ -230,11 +285,12 @@ def partition_iterations(
 
     part = partition_from_home(home, n_procs, method)
 
+    sink = machine if cache is None else ChargeLog(machine)
     # cost: each processor examines its block of iterations -- one
     # translation probe + vote update per reference
     init = BlockDistribution(n, n_procs)
     per_proc_iter = init.local_sizes().astype(np.float64)
-    machine.charge_compute_all(
+    sink.charge_compute_all(
         iops=per_proc_iter * len(refs) * (costs.hash_lookup + 2.0)
     )
     # ship iterations whose home differs from their initial block holder
@@ -243,10 +299,13 @@ def partition_iterations(
     np.add.at(moved, (init_holder, home), 1)
     np.fill_diagonal(moved, 0)
     move_p, move_q = np.nonzero(moved)
-    machine.exchange(
+    sink.exchange(
         src=move_p,
         dst=move_q,
         nbytes=moved[move_p, move_q] * ITERATION_RECORD_BYTES,
     )
-    machine.barrier()
+    sink.barrier()
+    if cache is not None:
+        flat, bounds = part.iters_flat()
+        cache.put(cache_key[0], cache_key[1], PartitionEntry(sink, flat, bounds))
     return part

@@ -34,6 +34,7 @@ import numpy as np
 
 from repro.chaos.costs import ChaosCosts, DEFAULT_COSTS
 from repro.chaos.remap import remap_arrays, remap_arrays_incremental
+from repro.chaos.transcache import TranslationCache
 from repro.core.dad import DAD
 from repro.core.forall import ForallLoop
 from repro.core.geocol import GeoCoL, construct_geocol
@@ -77,6 +78,7 @@ class IrregularProgram:
         incremental: bool = False,
         incremental_threshold: float = 0.35,
         guard: str | None = None,
+        translation_cache: str = "on",
     ):
         """``tracking_scope`` selects what the runtime record covers:
         ``"all"`` (the paper's implementation: every distributed-array
@@ -107,7 +109,22 @@ class IrregularProgram:
         is content-checked against the owners each executor run.  All
         checks are host-level -- simulated numbers stay bit-identical
         at every level.  ``None`` (default) reads the ``REPRO_GUARD``
-        environment variable, falling back to ``"off"``."""
+        environment variable, falling back to ``"off"``.
+
+        ``translation_cache`` (``"on"``, the default, or ``"off"``)
+        selects the persistent cross-execution
+        :class:`~repro.chaos.transcache.TranslationCache`: translation
+        products (owner/offset arrays, dedup inverses, schedules,
+        iteration partitions, per-patch key translations) are keyed by
+        content versions and reused across inspections, with the cold
+        run's simulated charges replayed verbatim on every hit.  Purely
+        a host-wall optimization -- simulated numbers are bit-identical
+        either way."""
+        if translation_cache not in ("on", "off"):
+            raise ValueError(
+                f"unknown translation_cache mode {translation_cache!r}; "
+                "choose on | off"
+            )
         if tracking_scope not in ("all", "indirection"):
             raise ValueError(
                 f"unknown tracking scope {tracking_scope!r}; "
@@ -126,6 +143,9 @@ class IrregularProgram:
         self.track = track
         self.merge_communication = merge_communication
         self.coalesce_patterns = coalesce_patterns
+        self.translation_cache = (
+            TranslationCache() if translation_cache == "on" else None
+        )
         self.tracking_scope = tracking_scope
         if guard is None:
             guard = os.environ.get("REPRO_GUARD", "off")
@@ -606,6 +626,7 @@ class IrregularProgram:
                 costs=self.costs,
                 ttables=self.ttables,
                 coalesce_patterns=self.coalesce_patterns,
+                cache=self.translation_cache,
             )
         self.inspector_runs += 1
         if self.guard != "off":

@@ -58,14 +58,24 @@ class Distribution(ABC):
     def translate(self, gidx) -> tuple[np.ndarray, np.ndarray]:
         """``(owner, local offset)`` of each global index in one call.
 
-        Hot translation paths (translation tables) use this so
-        implementations can validate the index stream once and share
-        intermediate work between the two lookups; the generic version
-        just delegates.
+        The single entry point hot translation paths (translation
+        tables) use: the index stream is range-validated exactly once
+        here, then handed to the kind-specific
+        :meth:`_translate_checked`.  Subclasses customize only that
+        hook; before PR 9 each irregular kind re-implemented the whole
+        method (and the generic path validated twice, once per lookup).
         """
+        return self._translate_checked(self._check_gidx(gidx))
+
+    def _translate_checked(self, g: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Translate an already-validated int64 index array.
+
+        Generic fallback: delegate to the two public lookups (each
+        re-validates; cheap for closed-form kinds, which override this
+        with the shared-validation arithmetic)."""
         return (
-            np.asarray(self.owner(gidx), dtype=np.int64),
-            np.asarray(self.local_index(gidx), dtype=np.int64),
+            np.asarray(self.owner(g), dtype=np.int64),
+            np.asarray(self.local_index(g), dtype=np.int64),
         )
 
     def local_indices(self, p: int) -> np.ndarray:

@@ -63,9 +63,8 @@ class IrregularDistribution(Distribution):
         g = self._check_gidx(gidx)
         return self._local[g]
 
-    def translate(self, gidx):
-        # one range validation, two dense gathers
-        g = self._check_gidx(gidx)
+    def _translate_checked(self, g):
+        # base.translate validated once; two dense gathers remain
         return self._owners[g], self._local[g]
 
     def global_index(self, p: int, lidx):
@@ -165,8 +164,7 @@ class ExplicitDistribution(Distribution):
     def local_index(self, gidx):
         return self._local[self._check_gidx(gidx)]
 
-    def translate(self, gidx):
-        g = self._check_gidx(gidx)
+    def _translate_checked(self, g):
         return self._owners[g], self._local[g]
 
     def global_index(self, p: int, lidx):

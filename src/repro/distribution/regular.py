@@ -28,6 +28,11 @@ class BlockDistribution(Distribution):
         g = self._check_gidx(gidx)
         return g % self.chunk if self.chunk else g
 
+    def _translate_checked(self, g):
+        if not self.chunk:
+            return g, g
+        return g // self.chunk, g % self.chunk
+
     def global_index(self, p: int, lidx):
         self._check_proc(p)
         li = np.asarray(lidx, dtype=np.int64)
@@ -72,6 +77,9 @@ class CyclicDistribution(Distribution):
     def local_index(self, gidx):
         g = self._check_gidx(gidx)
         return g // self.n_procs
+
+    def _translate_checked(self, g):
+        return g % self.n_procs, g // self.n_procs
 
     def global_index(self, p: int, lidx):
         self._check_proc(p)
@@ -126,6 +134,10 @@ class BlockCyclicDistribution(Distribution):
         blk = g // self.block
         local_blk = blk // self.n_procs
         return local_blk * self.block + g % self.block
+
+    def _translate_checked(self, g):
+        blk = g // self.block
+        return blk % self.n_procs, (blk // self.n_procs) * self.block + g % self.block
 
     def global_index(self, p: int, lidx):
         self._check_proc(p)

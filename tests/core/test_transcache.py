@@ -1,0 +1,281 @@
+"""Persistent translation cache: warm == cold, charges bit-identical.
+
+Two oracles, both randomized over machine widths / distributions /
+loop shapes:
+
+* **product oracle** -- a warm (cache-hit) re-inspection's product is
+  element-equal to the cold one: same iteration partition, same
+  localized references, same ghost key sets, same wire order;
+* **charge oracle** -- simulated machine counters after any sequence of
+  inspections are bit-identical with the cache on and off (the replay
+  mechanism re-issues the cold run's exact charge calls).
+
+Plus one invalidation test per mutation path: ``set_array_elements``,
+executor-style writes through local views, ``redistribute`` and the
+incremental-patch flow.  Each must bump the relevant content version
+so the next inspection misses (and is again correct).
+"""
+
+import numpy as np
+import pytest
+
+from repro.chaos.transcache import ChargeLog, TranslationCache
+from repro.core import ArrayRef, ForallLoop, Reduce, run_executor, run_inspector
+from repro.core.program import IrregularProgram
+from repro.distribution import BlockDistribution, CyclicDistribution, DistArray
+from repro.distribution.irregular import IrregularDistribution
+from repro.machine import Machine
+from repro.machine.stats import COUNTER_FIELDS
+
+
+def counters_equal(m1: Machine, m2: Machine) -> bool:
+    return all(
+        np.array_equal(getattr(m1.counters, f), getattr(m2.counters, f))
+        for f in COUNTER_FIELDS
+    )
+
+
+def random_setup(n_procs: int, seed: int, dist_kind: str = "block"):
+    """Random x/y + two random indirections on a fresh machine."""
+    rng = np.random.default_rng(seed)
+    n_data = int(rng.integers(10, 60))
+    n_iter = int(rng.integers(5, 80))
+    m = Machine(n_procs)
+    if dist_kind == "block":
+        dist = BlockDistribution(n_data, n_procs)
+    elif dist_kind == "cyclic":
+        dist = CyclicDistribution(n_data, n_procs)
+    else:
+        dist = IrregularDistribution(
+            rng.integers(0, n_procs, n_data), n_procs
+        )
+    idist = BlockDistribution(n_iter, n_procs)
+    arrays = {
+        "x": DistArray.from_global(m, dist, rng.normal(size=n_data), name="x"),
+        "y": DistArray.from_global(m, dist, np.zeros(n_data), name="y"),
+        "ia": DistArray.from_global(
+            m, idist, rng.integers(0, n_data, n_iter), name="ia"
+        ),
+        "ib": DistArray.from_global(
+            m, idist, rng.integers(0, n_data, n_iter), name="ib"
+        ),
+    }
+    x1, x2 = ArrayRef("x", "ia"), ArrayRef("x", "ib")
+    loop = ForallLoop(
+        "L",
+        n_iter,
+        [
+            Reduce("add", ArrayRef("y", "ia"), lambda a, b: a * b, (x1, x2), flops=2),
+            Reduce("add", ArrayRef("y", "ib"), lambda a, b: a - b, (x1, x2), flops=2),
+        ],
+    )
+    return m, arrays, loop
+
+
+def assert_products_equal(a, b):
+    """Element-equality of two InspectorProducts (same machine width)."""
+    fa, ba = a.iteration_partition.iters_flat()
+    fb, bb = b.iteration_partition.iters_flat()
+    assert np.array_equal(fa, fb) and np.array_equal(ba, bb)
+    assert set(a.patterns) == set(b.patterns)
+    for key, pa in a.patterns.items():
+        pb = b.patterns[key]
+        la, lb = pa.localized, pb.localized
+        for ga, gb in zip(la.ghost_globals, lb.ghost_globals):
+            assert np.array_equal(ga, gb)
+        for ra, rb in zip(la.local_refs, lb.local_refs):
+            assert np.array_equal(ra, rb)
+        sa, sb = la.schedule, lb.schedule
+        assert np.array_equal(sa._flat_send, sb._flat_send)
+        assert np.array_equal(sa._flat_recv, sb._flat_recv)
+
+
+class TestWarmVsColdOracle:
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("dist_kind", ["block", "cyclic", "irregular"])
+    def test_warm_product_element_equal(self, seed, dist_kind):
+        n_procs = int(np.random.default_rng(seed).choice([2, 4, 8]))
+        m, arrays, loop = random_setup(n_procs, seed, dist_kind)
+        cache = TranslationCache()
+        cold = run_inspector(m, loop, arrays, cache=cache)
+        assert cache.misses > 0
+        before = cache.hits
+        warm = run_inspector(m, loop, arrays, cache=cache)
+        assert cache.hits > before
+        assert_products_equal(cold, warm)
+
+    @pytest.mark.parametrize("seed", range(6))
+    @pytest.mark.parametrize("dist_kind", ["block", "irregular"])
+    def test_charges_bit_identical_with_and_without(self, seed, dist_kind):
+        n_procs = int(np.random.default_rng(seed + 99).choice([2, 4, 8]))
+        m1, arrays1, loop = random_setup(n_procs, seed, dist_kind)
+        m2, arrays2, _ = random_setup(n_procs, seed, dist_kind)
+        cache = TranslationCache()
+        for _ in range(3):
+            p1 = run_inspector(m1, loop, arrays1, cache=cache)
+            p2 = run_inspector(m2, loop, arrays2, cache=None)
+            run_executor(m1, p1, arrays1)
+            run_executor(m2, p2, arrays2)
+        assert cache.hits > 0
+        assert m1.elapsed() == m2.elapsed()
+        assert counters_equal(m1, m2)
+
+    def test_warm_executor_results_match(self):
+        m, arrays, loop = random_setup(4, seed=3)
+        cache = TranslationCache()
+        p = run_inspector(m, loop, arrays, cache=cache)
+        run_executor(m, p, arrays)
+        want = arrays["y"].to_global()
+        p2 = run_inspector(m, loop, arrays, cache=cache)
+        run_executor(m, p2, arrays)
+        # second sweep adds the same contributions again
+        assert np.allclose(arrays["y"].to_global(), 2 * want)
+
+    def test_sibling_arrays_share_localize_entry(self):
+        # x(ia)/y(ia) over one distribution: the localize slot excludes
+        # the data array's name, so the second pattern hits even within
+        # a single cold inspection
+        m, arrays, loop = random_setup(4, seed=11)
+        cache = TranslationCache()
+        run_inspector(m, loop, arrays, cache=cache, coalesce_patterns=False)
+        assert cache.kind_hits.get("localize", 0) > 0
+
+
+class TestChargeLog:
+    def test_forwards_and_replays_identically(self):
+        m1, m2, m3 = Machine(4), Machine(4), Machine(4)
+        log = ChargeLog(m1)
+        log.charge_compute_all(iops=np.array([1.0, 2.0, 3.0, 4.0]))
+        log.exchange(src=np.array([0]), dst=np.array([2]), nbytes=np.array([64]))
+        log.barrier()
+        log.charge_compute(1, flops=7.0)
+        # forwarding: m1 charged immediately
+        assert m1.elapsed() > 0
+        log.replay(m2)
+        log.replay(m3)
+        assert m1.elapsed() == m2.elapsed() == m3.elapsed()
+        assert counters_equal(m1, m2) and counters_equal(m2, m3)
+
+
+class TestInvalidation:
+    """Every mutation path must produce a cache miss and a correct
+    re-inspection (programs run the cache by default)."""
+
+    def build_prog(self, n_procs=4, n_data=24, n_iter=30, seed=5, **kw):
+        rng = np.random.default_rng(seed)
+        m = Machine(n_procs)
+        prog = IrregularProgram(m, **kw)
+        prog.decomposition("d", n_data)
+        prog.decomposition("d2", n_iter)
+        prog.distribute("d", "block")
+        prog.distribute("d2", "block")
+        prog.array("x", "d", values=rng.normal(size=n_data))
+        prog.array("y", "d", values=np.zeros(n_data))
+        prog.array("ia", "d2", values=rng.integers(0, n_data, n_iter), dtype=np.int64)
+        prog.array("ib", "d2", values=rng.integers(0, n_data, n_iter), dtype=np.int64)
+        x1, x2 = ArrayRef("x", "ia"), ArrayRef("x", "ib")
+        loop = ForallLoop(
+            "L",
+            n_iter,
+            [
+                Reduce("add", ArrayRef("y", "ia"), lambda a, b: a + b, (x1, x2), flops=1),
+                Reduce("add", ArrayRef("y", "ib"), lambda a, b: a * b, (x1, x2), flops=1),
+            ],
+        )
+        return prog, loop, rng
+
+    def reference(self, prog, y0=None):
+        x = prog.arrays["x"].to_global()
+        ia = prog.arrays["ia"].to_global()
+        ib = prog.arrays["ib"].to_global()
+        y = np.zeros_like(x) if y0 is None else y0.copy()
+        np.add.at(y, ia, x[ia] + x[ib])
+        np.add.at(y, ib, x[ia] * x[ib])
+        return y
+
+    def test_translation_cache_off_opt_out(self):
+        prog, _, _ = self.build_prog(translation_cache="off")
+        assert prog.translation_cache is None
+        with pytest.raises(ValueError, match="translation_cache"):
+            self.build_prog(translation_cache="maybe")
+
+    def test_set_array_elements_invalidates(self):
+        prog, loop, rng = self.build_prog()
+        prog.forall(loop, reuse=False)
+        cache = prog.translation_cache
+        misses0 = cache.misses
+        prog.forall(loop, reuse=False)  # unchanged: pure hits
+        assert cache.misses == misses0
+        n_data = prog.arrays["x"].size
+        prog.set_array_elements("ia", [2, 7], rng.integers(0, n_data, 2))
+        prog.set_array("y", np.zeros(n_data))
+        prog.forall(loop, reuse=False)
+        assert cache.misses > misses0  # indirection content changed
+        assert np.allclose(prog.arrays["y"].to_global(), self.reference(prog))
+
+    def test_view_write_invalidates(self):
+        prog, loop, rng = self.build_prog()
+        prog.forall(loop, reuse=False)
+        cache = prog.translation_cache
+        misses0 = cache.misses
+        # executor-style write through a local view bumps the version
+        ia = prog.arrays["ia"]
+        n_data = prog.arrays["x"].size
+        v0 = ia.version
+        ia.local(0)[0] = int(rng.integers(0, n_data))
+        assert ia.version > v0
+        prog.set_array("y", np.zeros(n_data))
+        prog.forall(loop, reuse=False)
+        assert cache.misses > misses0
+        assert np.allclose(prog.arrays["y"].to_global(), self.reference(prog))
+
+    def test_redistribute_invalidates(self):
+        prog, loop, rng = self.build_prog()
+        prog.forall(loop, reuse=False)
+        cache = prog.translation_cache
+        misses0 = cache.misses
+        n_data = prog.arrays["x"].size
+        owner_map = rng.integers(0, prog.machine.n_procs, n_data)
+        prog.redistribute("d", IrregularDistribution(owner_map, prog.machine.n_procs))
+        prog.set_array("y", np.zeros(n_data))
+        prog.forall(loop, reuse=False)
+        assert cache.misses > misses0  # distribution signature changed
+        assert np.allclose(prog.arrays["y"].to_global(), self.reference(prog))
+
+    def test_patched_schedules_bit_identical(self):
+        # incremental patching with the shared cache == without any cache
+        results = []
+        for mode in ("on", "off"):
+            prog, loop, rng = self.build_prog(
+                seed=9, incremental=True, translation_cache=mode
+            )
+            prog.forall(loop)
+            n_data = prog.arrays["x"].size
+            mut = np.random.default_rng(17)
+            for _ in range(3):
+                prog.set_array_elements(
+                    "ia", mut.integers(0, 30, 3), mut.integers(0, n_data, 3)
+                )
+                prog.forall(loop)
+            results.append(
+                (prog.machine.elapsed(), prog.patch_hits, prog.arrays["y"].to_global())
+            )
+        (e1, h1, y1), (e2, h2, y2) = results
+        assert h1 > 0  # the patch path actually ran
+        assert e1 == e2 and h1 == h2
+        assert np.array_equal(y1, y2)
+
+    def test_cache_is_bounded_per_slot(self):
+        # repeated mutation replaces entries in place instead of growing
+        prog, loop, rng = self.build_prog()
+        cache = prog.translation_cache
+        prog.forall(loop, reuse=False)
+        size0 = len(cache)
+        n_data = prog.arrays["x"].size
+        for _ in range(5):
+            prog.set_array_elements("ia", [1], rng.integers(0, n_data, 1))
+            prog.forall(loop, reuse=False)
+        assert len(cache) == size0
+        stats = cache.stats()
+        assert stats["entries"] == size0
+        assert stats["hits"] == cache.hits and stats["misses"] == cache.misses

@@ -144,6 +144,9 @@ class TestCorruptionDetected:
         _, prog, _, product = inspected()
         part = product.iteration_partition
         flat, _ = part.iters_flat()
+        # the translation cache freezes its stored products; thaw to
+        # simulate corruption of the shared storage
+        flat.flags.writeable = True
         flat[0] = flat[1]  # duplicate one iteration, lose another
         verify_partition(part, level="cheap")  # structure still fine
         with pytest.raises(InvariantViolation, match="permutation"):
