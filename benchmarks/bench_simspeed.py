@@ -31,13 +31,15 @@ simulated-number drift, warns on wall-time regression).
 
 Run standalone (``python benchmarks/bench_simspeed.py [P ...]
 [--profile]``) or under pytest (``pytest benchmarks/bench_simspeed.py``).
-``--profile`` additionally dumps a cProfile pstats file per run to
-``benchmarks/out/simspeed_P{n}.pstats`` for offline inspection
-(``python -m pstats``).
+``--profile`` additionally runs each scenario a second time with obs
+tracing on (``repro.obs``) and exports a Chrome/Perfetto trace to
+``benchmarks/out/simspeed_P{n}.trace.json`` (inspect with ``python -m
+repro.obs report <file>`` or https://ui.perfetto.dev); the per-phase
+host wall shares land in the JSON as ``phase_shares``, which
+``check_regression.py`` compares against the baseline.
 """
 
 import argparse
-import cProfile
 import json
 import os
 import time
@@ -69,12 +71,13 @@ def run_simspeed(
 ):
     """Time one run per processor count; returns the result record.
 
-    With ``profile=True``, each run additionally executes under cProfile
-    and dumps ``simspeed_P{n}.pstats`` next to the JSON report (the
-    profiled run is separate from the timed one, so recorded wall
-    seconds stay free of profiler overhead).
+    With ``profile=True``, each run additionally executes with obs
+    tracing on and exports ``simspeed_P{n}.trace.json`` next to the
+    JSON report (the traced run is separate from the timed one, so
+    recorded wall seconds stay free of tracing overhead).
     """
     from repro.bench.harness import run_euler_experiment
+    from repro.obs import load_trace, summarize
     from repro.workloads.mesh import generate_mesh
 
     t0 = time.perf_counter()
@@ -104,15 +107,16 @@ def run_simspeed(
             "simulated_phases": {k: v for k, v in res.phases.items()},
             "messages": res.meta["messages"],
             "bytes": res.meta["bytes"],
+            # kept as top-level keys (check_regression pins on them);
+            # the full per-kind breakdown rides along in "cache"
             "cache_hits": cache_stats.get("hits", 0),
             "cache_misses": cache_stats.get("misses", 0),
+            "cache": cache_stats,
         }
         if profile:
             os.makedirs(OUT_DIR, exist_ok=True)
-            pstats_path = os.path.join(OUT_DIR, f"simspeed_P{n_procs}.pstats")
-            pr = cProfile.Profile()
-            pr.enable()
-            run_euler_experiment(
+            trace_path = os.path.join(OUT_DIR, f"simspeed_P{n_procs}.trace.json")
+            traced = run_euler_experiment(
                 mesh,
                 n_procs=n_procs,
                 partitioner="RCB",
@@ -122,10 +126,21 @@ def run_simspeed(
                 seed=0,
                 coalesce=True,
                 incremental=True,
+                obs="on",
             )
-            pr.disable()
-            pr.dump_stats(pstats_path)
-            record["pstats"] = os.path.relpath(pstats_path, OUT_DIR)
+            # the traced run must reproduce the timed run's simulated
+            # numbers exactly -- the obs overhead contract
+            assert traced.total == res.total, (
+                f"P={n_procs}: obs=on changed simulated_total "
+                f"({traced.total!r} != {res.total!r})"
+            )
+            traced.meta["obs_program"].export_obs(trace_path, fmt="chrome")
+            summary = summarize(load_trace(trace_path))
+            record["trace"] = os.path.relpath(trace_path, OUT_DIR)
+            record["phase_shares"] = {
+                name: round(ph["share"], 4)
+                for name, ph in summary["phases"].items()
+            }
         scenarios.append(record)
     return {
         "scenario": SCENARIO,
@@ -180,8 +195,8 @@ def _parse_args(argv=None):
     parser.add_argument(
         "--profile",
         action="store_true",
-        help="also run each scenario under cProfile and dump "
-        "benchmarks/out/simspeed_P{n}.pstats",
+        help="also run each scenario with obs tracing on and export "
+        "benchmarks/out/simspeed_P{n}.trace.json (Chrome/Perfetto)",
     )
     return parser.parse_args(argv)
 

@@ -21,6 +21,12 @@ invariants every optimization PR must keep:
   Actions ``::warning`` annotation but does **not** fail the job --
   shared CI runners are too noisy to gate hard on wall clock; the
   trajectory is tracked via the uploaded JSON artifact.
+* **No phase quietly eats the wall clock.**  When both reports carry
+  ``phase_shares`` (produced by ``bench_simspeed.py --profile`` from
+  the obs trace), any instrumented phase whose share of host wall time
+  grew by more than ``--share-tolerance`` (default 10 points) over
+  baseline emits a ``::warning``.  Skipped silently when either side
+  lacks the data (non-profiled runs).
 
 Exit status: 0 = clean (warnings allowed), 1 = simulated drift or
 unusable inputs.
@@ -54,7 +60,42 @@ def _warn(msg: str) -> None:
     print(f"WARN: {msg}", file=sys.stderr)
 
 
-def compare(baseline: dict, current: dict, wall_procs, wall_tolerance: float):
+def _compare_phase_shares(
+    n_procs: int, base: dict, cur: dict, share_tolerance: float
+) -> int:
+    """Warn when an obs-instrumented phase's wall share balloons.
+
+    Returns the number of warnings emitted.  Shares are fractions in
+    [0, 1]; ``share_tolerance`` is in points of share (0.10 = 10
+    points).  Missing ``phase_shares`` on either side (the bench ran
+    without ``--profile``) skips the check without noise.
+    """
+    base_shares = base.get("phase_shares")
+    cur_shares = cur.get("phase_shares")
+    if not base_shares or not cur_shares:
+        return 0
+    warnings = 0
+    for phase, cur_share in sorted(cur_shares.items()):
+        grew = cur_share - base_shares.get(phase, 0.0)
+        if grew > share_tolerance:
+            _warn(
+                f"P={n_procs}: phase {phase!r} wall share grew "
+                f"{100 * base_shares.get(phase, 0.0):.1f}% -> "
+                f"{100 * cur_share:.1f}% "
+                f"(> {100 * share_tolerance:.0f} points over baseline; "
+                "inspect the exported obs trace)"
+            )
+            warnings += 1
+    return warnings
+
+
+def compare(
+    baseline: dict,
+    current: dict,
+    wall_procs,
+    wall_tolerance: float,
+    share_tolerance: float = 0.10,
+):
     """Return (n_errors, n_warnings) for ``current`` vs ``baseline``."""
     errors = 0
     warnings = 0
@@ -135,6 +176,7 @@ def compare(baseline: dict, current: dict, wall_procs, wall_tolerance: float):
                     f"P={n_procs}: wall {cur_wall:.3f}s vs baseline "
                     f"{base_wall:.3f}s (limit {limit:.3f}s) -- ok"
                 )
+        warnings += _compare_phase_shares(n_procs, base, cur, share_tolerance)
         print(f"P={n_procs}: simulated numbers bit-identical -- ok")
     return errors, warnings
 
@@ -156,6 +198,13 @@ def main(argv=None) -> int:
         default=0.25,
         help="fractional wall-time slack before warning (default: 0.25)",
     )
+    parser.add_argument(
+        "--share-tolerance",
+        type=float,
+        default=0.10,
+        help="points of host-wall phase share a phase may grow over "
+        "baseline before warning (default: 0.10 = 10 points)",
+    )
     args = parser.parse_args(argv)
 
     for label, path in (("baseline", args.baseline), ("current", args.current)):
@@ -168,7 +217,11 @@ def main(argv=None) -> int:
         current = json.load(fh)
 
     errors, warnings = compare(
-        baseline, current, set(args.wall_procs), args.wall_tolerance
+        baseline,
+        current,
+        set(args.wall_procs),
+        args.wall_tolerance,
+        args.share_tolerance,
     )
     if errors:
         print(f"{errors} error(s), {warnings} warning(s)", file=sys.stderr)

@@ -87,8 +87,16 @@ class IncrementalInspector:
         #: any -- the driver recovered by falling back to full inspection
         self.last_error: Exception | None = None
         #: structured record of every fallback to the full inspector:
-        #: {"loop", "stage", "reason", "error", **detail}
-        self.fallback_log: list[dict] = []
+        #: {"loop", "stage", "reason", "error", **detail}.  When the
+        #: program carries an event bus this is a live list-shaped view
+        #: over its "adapt.fallback" category (shared structured-event
+        #: schema); standalone construction keeps a plain list.
+        if program is not None and getattr(program, "events", None) is not None:
+            self.fallback_log = program.events.view(
+                "adapt.fallback", name_key="reason"
+            )
+        else:
+            self.fallback_log = []
         #: per-loop count of typed patch failures (aborts + verify)
         self.failures: dict[str, int] = {}
         #: loops whose incremental inspection was disabled after
@@ -114,8 +122,10 @@ class IncrementalInspector:
     def after_inspect(self, loop: ForallLoop, record: InspectorRecord) -> None:
         """Capture fresh adapt state after a full inspection (charged)."""
         arrays = self.program.arrays
-        self.states[loop.name] = build_adapt_state(record.product, arrays)
-        charge_state_build(self.program.machine, record.product, arrays)
+        machine = self.program.machine
+        with machine.obs.span("adapt.state.build_adapt_state", loop=loop.name):
+            self.states[loop.name] = build_adapt_state(record.product, arrays)
+            charge_state_build(machine, record.product, arrays)
 
     # ------------------------------------------------------------------
     def attempt(
@@ -158,29 +168,34 @@ class IncrementalInspector:
                 )
             dirty[name] = ranges
 
+        obs = machine.obs
         with machine.phase("inspector"):
             machine.charge_compute_all(iops=PATCH_CHECK_IOPS)
             # diff: each owner compares its share of the dirty windows
             changed: dict[str, np.ndarray] = {}
             n_changed = 0
             n_tracked = 0
-            for name in stale:
-                arr = arrays[name]
-                n_tracked += arr.size
-                pos = expand_ranges(dirty[name])
-                if pos.size:
-                    # every owner compares its share of the dirty window
-                    owners = np.asarray(arr.distribution.owner(pos), dtype=np.int64)
-                    machine.charge_compute_all(
-                        iops=DIFF_IOPS_PER_ELEMENT
-                        * np.bincount(owners, minlength=machine.n_procs).astype(
-                            np.float64
+            with obs.span("adapt.diff", loop=loop.name) as diff_span:
+                for name in stale:
+                    arr = arrays[name]
+                    n_tracked += arr.size
+                    pos = expand_ranges(dirty[name])
+                    if pos.size:
+                        # every owner compares its share of the dirty window
+                        owners = np.asarray(
+                            arr.distribution.owner(pos), dtype=np.int64
                         )
-                    )
-                cur = np.asarray(arr.global_view(), dtype=np.int64)
-                chg = changed_at(state.snapshots[name], cur, pos)
-                changed[name] = chg
-                n_changed += int(chg.size)
+                        machine.charge_compute_all(
+                            iops=DIFF_IOPS_PER_ELEMENT
+                            * np.bincount(owners, minlength=machine.n_procs).astype(
+                                np.float64
+                            )
+                        )
+                    cur = np.asarray(arr.global_view(), dtype=np.int64)
+                    chg = changed_at(state.snapshots[name], cur, pos)
+                    changed[name] = chg
+                    n_changed += int(chg.size)
+                diff_span.set(n_changed=n_changed, n_tracked=n_tracked)
             if n_tracked and n_changed > self.max_change_fraction * n_tracked:
                 # too much churn: a full inspection is the better deal
                 # (the diff work above was the price of finding out).
@@ -191,17 +206,21 @@ class IncrementalInspector:
                 )
             self.last_error = None
             try:
-                result = patch_product(
-                    machine,
-                    record.product,
-                    arrays,
-                    state,
-                    changed,
-                    self._ttables_for(record),
-                    costs=self.program.costs,
-                    cache=self.program.translation_cache,
-                )
-                self._verify_patch(loop, result)
+                with obs.span(
+                    "adapt.patch", loop=loop.name, n_changed=n_changed
+                ):
+                    result = patch_product(
+                        machine,
+                        record.product,
+                        arrays,
+                        state,
+                        changed,
+                        self._ttables_for(record),
+                        costs=self.program.costs,
+                        cache=self.program.translation_cache,
+                    )
+                with obs.span("adapt.verify", loop=loop.name):
+                    self._verify_patch(loop, result)
             except (PatchError, InvariantViolation) as exc:
                 # patch_product keeps state consistent on failure (its
                 # slot spaces persist only after every group succeeds),
@@ -304,7 +323,17 @@ class AdaptiveExecutor:
     steps, and :meth:`resume` continues bit-identically from one.
     """
 
-    def __init__(self, program, loop: ForallLoop):
+    def __init__(self, program, loop: ForallLoop, obs: str | None = None):
+        """``obs="on"`` installs a :class:`repro.obs.Tracer` on the
+        program's machine (same switch as ``IrregularProgram(obs=...)``;
+        ``None`` leaves whatever the program configured)."""
+        if obs is not None:
+            if obs not in ("on", "off"):
+                raise ValueError(f"unknown obs mode {obs!r}; choose on | off")
+            if obs == "on" and not program.machine.obs.enabled:
+                from repro.obs import Tracer
+
+                program.machine.obs = Tracer()
         self.program = program
         self.loop = loop
         self.history: list[dict] = []
@@ -324,13 +353,15 @@ class AdaptiveExecutor:
             len(adapt.fallback_log) if adapt is not None else 0,
             prog.inspect_wall,
         )
-        prog.forall(self.loop, n_times=1)
-        if prog.inspector_runs > before[0]:
-            mode = "full"
-        elif prog.patch_hits > before[1]:
-            mode = "patch"
-        else:
-            mode = "reuse"
+        with machine.obs.span("adapt.step", loop=self.loop.name) as step_span:
+            prog.forall(self.loop, n_times=1)
+            if prog.inspector_runs > before[0]:
+                mode = "full"
+            elif prog.patch_hits > before[1]:
+                mode = "patch"
+            else:
+                mode = "reuse"
+            step_span.set(mode=mode)
         self.history.append(
             {
                 "mode": mode,

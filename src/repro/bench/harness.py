@@ -149,6 +149,9 @@ def _collect(prog: IrregularProgram, spec: dict) -> ExperimentResult:
         res.meta["translation_cache"] = prog.translation_cache.stats()
     if prog.adapt is not None:
         res.meta["patch_hits"] = prog.patch_hits
+    if machine.obs.enabled:
+        res.meta["obs"] = prog.obs_snapshot().to_dict()
+        res.meta["obs_program"] = prog
     return res
 
 
@@ -163,6 +166,7 @@ def run_euler_experiment(
     seed: int = 0,
     coalesce: bool = False,
     incremental: bool = False,
+    obs: str | None = None,
 ) -> ExperimentResult:
     """One unstructured-mesh edge-sweep experiment (Tables 1-4).
 
@@ -172,6 +176,9 @@ def run_euler_experiment(
     bit-identical across PRs.  ``incremental`` enables the adaptive
     patching subsystem (compiler path only -- it needs the runtime
     record); the longitudinal simspeed scenario turns both on.
+    ``obs="on"`` enables host-side span tracing (see :mod:`repro.obs`);
+    the result's ``meta`` then carries a ``MetricsSnapshot`` dict plus
+    the program handle (``obs_program``) for trace export.
     """
     if path not in ("compiler", "hand"):
         raise ValueError(f"unknown path {path!r}; choose compiler | hand")
@@ -186,6 +193,7 @@ def run_euler_experiment(
         executor_overhead=(
             COMPILER_EXECUTOR_OVERHEAD if path == "compiler" else 1.0
         ),
+        obs=obs,
     )
     _partition_and_remap(
         prog,

@@ -206,19 +206,23 @@ def localize(
         replayed -- simulated numbers are bit-identical either way.
     """
     n = machine.n_procs
+    obs = machine.obs
     caching = cache is not None and cache_key is not None
     if caching:
         entry = cache.get(*cache_key)
         if entry is not None:
-            entry.charges.replay(machine)
-            return LocalizeResult(
-                local_sizes=entry.local_sizes,
-                schedule=entry.schedule.twin(),
-                refs_flat=entry.refs_flat,
-                ref_bounds=entry.ref_bounds,
-                ghost_flat=entry.ghost_flat,
-                ghost_bounds=entry.ghost_bounds,
-            )
+            obs.counter("localize.cache_hits")
+            with obs.span("localize.replay"):
+                entry.charges.replay(machine)
+                return LocalizeResult(
+                    local_sizes=entry.local_sizes,
+                    schedule=entry.schedule.twin(),
+                    refs_flat=entry.refs_flat,
+                    ref_bounds=entry.ref_bounds,
+                    ghost_flat=entry.ghost_flat,
+                    ghost_bounds=entry.ghost_bounds,
+                )
+        obs.counter("localize.cache_misses")
     if callable(ref_lists):
         ref_lists = ref_lists()
     refs = FlatRefs.from_lists(ref_lists)
@@ -230,7 +234,10 @@ def localize(
     dist = ttable.dist
     flat_refs = refs.values
     sizes = refs.sizes()
-    flat_owner, flat_lidx = ttable.dereference_flat(flat_refs, refs.bounds, sink=sink)
+    with obs.span("localize.dereference", n_refs=int(flat_refs.size)):
+        flat_owner, flat_lidx = ttable.dereference_flat(
+            flat_refs, refs.bounds, sink=sink
+        )
 
     local_sizes_arr = dist.local_sizes()
     flat_pid = np.repeat(np.arange(n, dtype=np.int64), sizes)
@@ -250,7 +257,8 @@ def localize(
         # exact (n * stride bounds every key), so uniques and inverse
         # are unchanged
         keys = keys.astype(np.int32)
-    uniq_keys, inverse = sorted_unique_inverse(keys)
+    with obs.span("localize.dedup", n_off=int(keys.size)):
+        uniq_keys, inverse = sorted_unique_inverse(keys)
     uniq_keys = uniq_keys.astype(np.int64, copy=False)
     # per-processor group bounds on the sorted uniques: n+1 binary
     # searches instead of a bincount over a division-derived pid array
@@ -323,17 +331,18 @@ def localize(
     sink.charge_compute_all(iops=costs.schedule_build * owner_record)
     sink.barrier()
 
-    schedule = CommSchedule.from_flat(
-        machine,
-        dist.signature(),
-        pair_q,
-        pair_p,
-        pair_counts,
-        sorted_lidx,
-        sorted_slots,
-        ghost_sizes,
-        costs=costs,
-    )
+    with obs.span("localize.schedule.build", n_pairs=int(pair_q.size)):
+        schedule = CommSchedule.from_flat(
+            machine,
+            dist.signature(),
+            pair_q,
+            pair_p,
+            pair_counts,
+            sorted_lidx,
+            sorted_slots,
+            ghost_sizes,
+            costs=costs,
+        )
     result = LocalizeResult(
         local_sizes=[int(s) for s in local_sizes_arr],
         schedule=schedule,

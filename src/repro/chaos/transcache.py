@@ -187,9 +187,13 @@ class TranslationCache:
         self._slots: dict[tuple, tuple[tuple, object]] = {}
         self.hits = 0
         self.misses = 0
+        #: entries replaced under a new version (the implicit
+        #: invalidation path: same slot, changed content/distribution)
+        self.invalidations = 0
         #: per-kind counters, keyed by slot[0] ("localize" / "partition")
         self.kind_hits: dict[str, int] = {}
         self.kind_misses: dict[str, int] = {}
+        self.kind_invalidations: dict[str, int] = {}
 
     def get(self, slot: tuple, version: tuple):
         """The entry stored for ``slot`` iff its version matches, else None."""
@@ -203,6 +207,12 @@ class TranslationCache:
         return None
 
     def put(self, slot: tuple, version: tuple, entry) -> None:
+        held = self._slots.get(slot)
+        if held is not None and held[0] != version:
+            self.invalidations += 1
+            self.kind_invalidations[slot[0]] = (
+                self.kind_invalidations.get(slot[0], 0) + 1
+            )
         self._slots[slot] = (version, entry)
 
     def __len__(self) -> int:
@@ -212,17 +222,35 @@ class TranslationCache:
         self._slots.clear()
 
     def stats(self) -> dict:
-        """Counters for bench reports (wall-side only, never simulated)."""
+        """Counters for bench reports (wall-side only, never simulated).
+
+        ``invalidations`` counts entries replaced under a changed
+        version key -- the cache's implicit invalidation path.
+        ``by_kind`` breaks hits/misses/invalidations/entries down per
+        slot kind (``"localize"`` / ``"partition"``).
+        """
+        kind_entries: dict[str, int] = {}
+        for slot in self._slots:
+            kind_entries[slot[0]] = kind_entries.get(slot[0], 0) + 1
+        kinds = sorted(
+            set(self.kind_hits)
+            | set(self.kind_misses)
+            | set(self.kind_invalidations)
+            | set(kind_entries)
+        )
         return {
             "hits": self.hits,
             "misses": self.misses,
+            "invalidations": self.invalidations,
             "entries": len(self._slots),
             "by_kind": {
                 kind: {
                     "hits": self.kind_hits.get(kind, 0),
                     "misses": self.kind_misses.get(kind, 0),
+                    "invalidations": self.kind_invalidations.get(kind, 0),
+                    "entries": kind_entries.get(kind, 0),
                 }
-                for kind in sorted(set(self.kind_hits) | set(self.kind_misses))
+                for kind in kinds
             },
         }
 

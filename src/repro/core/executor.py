@@ -67,15 +67,16 @@ def run_executor(
         raise ValueError("overhead_factor models slowdown; must be >= 1")
     _check_fresh(product, arrays)
     for _ in range(n_times):
-        _execute_once(
-            machine,
-            product,
-            arrays,
-            overhead_factor,
-            merge_communication,
-            guard=guard,
-            guard_log=guard_log,
-        )
+        with machine.obs.span("executor.execute", loop=product.loop.name):
+            _execute_once(
+                machine,
+                product,
+                arrays,
+                overhead_factor,
+                merge_communication,
+                guard=guard,
+                guard_log=guard_log,
+            )
 
 
 def _check_fresh(product: InspectorProduct, arrays: dict[str, DistArray]) -> None:
@@ -284,17 +285,20 @@ def _execute_once(
         gather_items.append(
             (pat.localized.schedule, arrays[pat.array], pat.ghosts, pat)
         )
-    if merge_communication and gather_items:
-        gather_merged([(s, a, g) for s, a, g, _ in gather_items])
-    else:
-        for sched, arr, ghosts, _ in gather_items:
-            sched.gather(arr, ghosts)
+    obs = machine.obs
+    with obs.span("executor.gather", n_schedules=len(gather_items)):
+        if merge_communication and gather_items:
+            gather_merged([(s, a, g) for s, a, g, _ in gather_items])
+        else:
+            for sched, arr, ghosts, _ in gather_items:
+                sched.gather(arr, ghosts)
     # post-gather content verification: at guard "full" always, and at
     # any level while faults are being injected (detection is the point
     # of injecting them; the patch-verify rung does the same).
     # host-level -- charges nothing.
     if gather_items and (guard == "full" or machine.faults is not None):
-        _verify_gathers(machine, product, arrays, gather_items, guard_log)
+        with obs.span("guard.verify_gathers", loop=loop.name):
+            _verify_gathers(machine, product, arrays, gather_items, guard_log)
 
     # flat combined-space setup per pattern, cached on the immutable
     # product: reuse scenarios execute the same product once per time
@@ -367,25 +371,32 @@ def _execute_once(
     flops = np.zeros(n_procs)
     mem = np.zeros(n_procs)
     n_it_f = n_it.astype(np.float64)
-    for s in loop.statements:
-        lhs_key = (s.lhs.array, s.lhs.index)
-        operands = [
-            combined[(r.array, r.index)][refs_of((r.array, r.index))]
-            for r in s.reads
-        ]
-        vals = np.asarray(s.func(*operands))
-        if vals.shape != (total_iters,):
-            vals = np.broadcast_to(vals, (total_iters,)).copy()
-        gkey = group_of[lhs_key]
-        tgt = staging[gkey]
-        refs = refs_of(lhs_key)
-        if isinstance(s, Reduce):
-            REDUCTION_OPS[s.op].at(tgt, refs, vals)
-        else:
-            tgt[refs] = vals
-            assigned_mask[gkey][refs] = True
-        flops += s.flops * n_it_f
-        mem += 2.0 * (len(s.reads) + 1) * n_it_f
+    with obs.span(
+        "executor.compute",
+        loop=loop.name,
+        n_statements=len(loop.statements),
+        n_iters=total_iters,
+    ):
+        for s in loop.statements:
+            lhs_key = (s.lhs.array, s.lhs.index)
+            with obs.span("executor.statement", array=s.lhs.array):
+                operands = [
+                    combined[(r.array, r.index)][refs_of((r.array, r.index))]
+                    for r in s.reads
+                ]
+                vals = np.asarray(s.func(*operands))
+                if vals.shape != (total_iters,):
+                    vals = np.broadcast_to(vals, (total_iters,)).copy()
+                gkey = group_of[lhs_key]
+                tgt = staging[gkey]
+                refs = refs_of(lhs_key)
+                if isinstance(s, Reduce):
+                    REDUCTION_OPS[s.op].at(tgt, refs, vals)
+                else:
+                    tgt[refs] = vals
+                    assigned_mask[gkey][refs] = True
+            flops += s.flops * n_it_f
+            mem += 2.0 * (len(s.reads) + 1) * n_it_f
 
     machine.charge_compute_all(flops=flops * overhead, mem=mem * overhead)
 
@@ -396,36 +407,37 @@ def _execute_once(
     # ghost part (``ghost_sel``) is already in flat ghost-backing layout,
     # so the schedule scatters it with no per-processor splits.
     merged_reduce_items = []
-    for gkey, (key, kind) in groups.items():
-        pat = product.patterns[key]
-        arr = arrays[pat.array]
-        sp = space_of(key)
-        stage = staging[gkey]
-        stage_local = stage[sp.local_sel]
-        ghost_stage = stage[sp.ghost_sel]
-        data = arr.backing_mut()  # one version bump per merged group
-        if kind == "assign":
-            m = assigned_mask[gkey][sp.local_sel]
-            data[m] = stage_local[m]
-            # only slots actually assigned may overwrite owner data; we
-            # ship staged values for every slot but restrict at the owner
-            # by shipping the mask too is overkill at this model fidelity:
-            # FORALL semantics forbid partially-assigned ghost patterns,
-            # so every ghost slot of an assigned pattern is written.
-            pat.localized.schedule.scatter(ghost_stage, arr)
-        else:
-            op = REDUCTION_OPS[kind]
-            op(data, stage_local, out=data)
-            if merge_communication:
-                merged_reduce_items.append(
-                    (pat.localized.schedule, ghost_stage, arr, op)
-                )
+    with obs.span("executor.scatter", n_groups=len(groups)):
+        for gkey, (key, kind) in groups.items():
+            pat = product.patterns[key]
+            arr = arrays[pat.array]
+            sp = space_of(key)
+            stage = staging[gkey]
+            stage_local = stage[sp.local_sel]
+            ghost_stage = stage[sp.ghost_sel]
+            data = arr.backing_mut()  # one version bump per merged group
+            if kind == "assign":
+                m = assigned_mask[gkey][sp.local_sel]
+                data[m] = stage_local[m]
+                # only slots actually assigned may overwrite owner data; we
+                # ship staged values for every slot but restrict at the owner
+                # by shipping the mask too is overkill at this model fidelity:
+                # FORALL semantics forbid partially-assigned ghost patterns,
+                # so every ghost slot of an assigned pattern is written.
+                pat.localized.schedule.scatter(ghost_stage, arr)
             else:
-                pat.localized.schedule.scatter_op(ghost_stage, arr, op)
-        # merge cost: one flop per owned element combined
-        machine.charge_compute_all(
-            flops=np.asarray(pat.localized.local_sizes, dtype=np.float64)
-        )
-    if merged_reduce_items:
-        scatter_op_merged(merged_reduce_items)
+                op = REDUCTION_OPS[kind]
+                op(data, stage_local, out=data)
+                if merge_communication:
+                    merged_reduce_items.append(
+                        (pat.localized.schedule, ghost_stage, arr, op)
+                    )
+                else:
+                    pat.localized.schedule.scatter_op(ghost_stage, arr, op)
+            # merge cost: one flop per owned element combined
+            machine.charge_compute_all(
+                flops=np.asarray(pat.localized.local_sizes, dtype=np.float64)
+            )
+        if merged_reduce_items:
+            scatter_op_merged(merged_reduce_items)
     machine.barrier()

@@ -121,9 +121,11 @@ def run_inspector(
         if cache is not None
         else None
     )
-    itpart = partition_iterations(
-        machine, loop, arrays, iter_method, costs, cache=cache, cache_key=part_key
-    )
+    obs = machine.obs
+    with obs.span("inspector.partition", loop=loop.name, method=iter_method):
+        itpart = partition_iterations(
+            machine, loop, arrays, iter_method, costs, cache=cache, cache_key=part_key
+        )
 
     # Phase D: localize every distinct access pattern
     n_procs = machine.n_procs
@@ -155,7 +157,10 @@ def run_inspector(
         tkey = (array_name, arr.distribution.signature())
         if ttables is not None and tkey in ttables:
             return ttables[tkey]
-        tt = build_translation_table(machine, arr.distribution, costs, ttable_variant)
+        with obs.span("inspector.ttable.build", array=array_name):
+            tt = build_translation_table(
+                machine, arr.distribution, costs, ttable_variant
+            )
         if ttables is not None:
             ttables[tkey] = tt
         return tt
@@ -214,14 +219,17 @@ def run_inspector(
             or array_name in assign_targets
         ):
             for index in indexes:
-                loc = localize(
-                    machine,
-                    tt,
-                    lambda index=index: per_proc_refs(index),
-                    costs,
-                    cache=cache,
-                    cache_key=loc_cache_key(tt, arr.distribution, (index,)),
-                )
+                with obs.span(
+                    "inspector.localize", array=array_name, patterns=1
+                ):
+                    loc = localize(
+                        machine,
+                        tt,
+                        lambda index=index: per_proc_refs(index),
+                        costs,
+                        cache=cache,
+                        cache_key=loc_cache_key(tt, arr.distribution, (index,)),
+                    )
                 ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
                 patterns[(array_name, index)] = PatternData(
                     array=array_name, index=index, localized=loc, ghosts=ghosts
@@ -242,14 +250,17 @@ def run_inspector(
                 for p in range(n_procs)
             ]
 
-        loc = localize(
-            machine,
-            tt,
-            combined_refs,
-            costs,
-            cache=cache,
-            cache_key=loc_cache_key(tt, arr.distribution, tuple(indexes)),
-        )
+        with obs.span(
+            "inspector.localize", array=array_name, patterns=len(indexes)
+        ):
+            loc = localize(
+                machine,
+                tt,
+                combined_refs,
+                costs,
+                cache=cache,
+                cache_key=loc_cache_key(tt, arr.distribution, tuple(indexes)),
+            )
         ghosts = GhostBuffers(machine, loc.schedule, dtype=arr.dtype, costs=costs)
         # split the localized reference lists back out per pattern
         seg_sizes = np.diff(iter_bounds)

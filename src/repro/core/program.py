@@ -54,6 +54,7 @@ from repro.distribution.regular import (
     CyclicDistribution,
 )
 from repro.machine.machine import Machine
+from repro.obs import EventBus, MetricsSnapshot, Tracer, export_trace
 
 #: integer ops charged per tracked array for one runtime-record check
 CHECK_IOPS_PER_ARRAY = 15.0
@@ -79,6 +80,7 @@ class IrregularProgram:
         incremental_threshold: float = 0.35,
         guard: str | None = None,
         translation_cache: str = "on",
+        obs: str | None = None,
     ):
         """``tracking_scope`` selects what the runtime record covers:
         ``"all"`` (the paper's implementation: every distributed-array
@@ -119,7 +121,14 @@ class IrregularProgram:
         content versions and reused across inspections, with the cold
         run's simulated charges replayed verbatim on every hit.  Purely
         a host-wall optimization -- simulated numbers are bit-identical
-        either way."""
+        either way.
+
+        ``obs`` (``"on"`` / ``"off"``; ``None`` reads ``REPRO_OBS``,
+        default ``"off"``) enables host-side span tracing: a
+        :class:`~repro.obs.Tracer` is installed on ``machine.obs`` and
+        the inspector/executor/adapt/guard seams record wall-time spans
+        into its bounded buffer (see :mod:`repro.obs`).  Purely
+        host-level -- simulated numbers are bit-identical either way."""
         if translation_cache not in ("on", "off"):
             raise ValueError(
                 f"unknown translation_cache mode {translation_cache!r}; "
@@ -135,7 +144,14 @@ class IrregularProgram:
                 "incremental inspection needs the runtime modification "
                 "record; pass track=True"
             )
+        if obs is None:
+            obs = os.environ.get("REPRO_OBS", "off")
+        if obs not in ("on", "off"):
+            raise ValueError(f"unknown obs mode {obs!r}; choose on | off")
         self.machine = machine
+        self.obs = obs
+        if obs == "on" and not machine.obs.enabled:
+            machine.obs = Tracer()
         self.iter_method = iter_method
         self.ttable_variant = ttable_variant
         self.costs = costs
@@ -154,10 +170,14 @@ class IrregularProgram:
         from repro.guard.invariants import check_level
 
         self.guard = check_level(guard)
+        #: the program's structured-event stream; guard detections,
+        #: adapt fallbacks, and (in serve) job lifecycle all land here
+        self.events = EventBus()
         #: structured log of guard detections/recoveries (executor-side
         #: gather divergences land here; patch fallbacks live in
-        #: ``self.adapt.fallback_log``)
-        self.guard_events: list[dict] = []
+        #: ``self.adapt.fallback_log``).  A live list-shaped view over
+        #: the ``"guard"`` category of ``self.events``.
+        self.guard_events = self.events.view("guard", name_key="event")
         self._indirection_dads: set[tuple] = set()
         self.registry = ModificationRegistry()
         self.arrays: dict[str, DistArray] = {}
@@ -554,19 +574,21 @@ class IrregularProgram:
         """
         if n_times < 0:
             raise ValueError(f"negative execution count {n_times}")
+        obs = self.machine.obs
         for _ in range(n_times):
             product = self._inspect(loop, reuse)
-            with self.machine.phase("executor"):
-                run_executor(
-                    self.machine,
-                    product,
-                    self.arrays,
-                    n_times=1,
-                    overhead_factor=self.executor_overhead,
-                    merge_communication=self.merge_communication,
-                    guard=self.guard,
-                    guard_log=self.guard_events,
-                )
+            with obs.span("execute", loop=loop.name):
+                with self.machine.phase("executor"):
+                    run_executor(
+                        self.machine,
+                        product,
+                        self.arrays,
+                        n_times=1,
+                        overhead_factor=self.executor_overhead,
+                        merge_communication=self.merge_communication,
+                        guard=self.guard,
+                        guard_log=self.guard_events,
+                    )
             if self.track:
                 # a FORALL writes (at most) the whole target array: stamp
                 # the full region so an indirection sharing the DAD can
@@ -590,7 +612,8 @@ class IrregularProgram:
         """
         t0 = time.perf_counter()
         try:
-            return self._inspect_impl(loop, reuse)
+            with self.machine.obs.span("inspect", loop=loop.name):
+                return self._inspect_impl(loop, reuse)
         finally:
             self.inspect_wall += time.perf_counter() - t0
 
@@ -608,6 +631,7 @@ class IrregularProgram:
                 decision = True
             if decision:
                 self.reuse_hits += 1
+                self.machine.obs.counter("inspect.reuse_hits")
                 return record.product
             if self.adapt is not None:
                 # incremental inspection: a pure condition-3 failure may
@@ -616,25 +640,27 @@ class IrregularProgram:
                 if product is not None:
                     self.patch_hits += 1
                     return product
-        with self.machine.phase("inspector"):
-            product = run_inspector(
-                self.machine,
-                loop,
-                self.arrays,
-                iter_method=self.iter_method,
-                ttable_variant=self.ttable_variant,
-                costs=self.costs,
-                ttables=self.ttables,
-                coalesce_patterns=self.coalesce_patterns,
-                cache=self.translation_cache,
-            )
+        with self.machine.obs.span("inspector.run", loop=loop.name):
+            with self.machine.phase("inspector"):
+                product = run_inspector(
+                    self.machine,
+                    loop,
+                    self.arrays,
+                    iter_method=self.iter_method,
+                    ttable_variant=self.ttable_variant,
+                    costs=self.costs,
+                    ttables=self.ttables,
+                    coalesce_patterns=self.coalesce_patterns,
+                    cache=self.translation_cache,
+                )
         self.inspector_runs += 1
         if self.guard != "off":
             # verify the fresh product at the configured level
             # (host-level, uncharged -- outside the inspector phase)
             from repro.guard.invariants import verify_product
 
-            verify_product(product, self.arrays, self.guard)
+            with self.machine.obs.span("guard.verify_product", loop=loop.name):
+                verify_product(product, self.arrays, self.guard)
         for a in loop.indirection_arrays():
             self._indirection_dads.add(DAD.of(self.arrays[a]).signature)
         self.records[loop.name] = InspectorRecord(
@@ -690,6 +716,34 @@ class IrregularProgram:
 
     def phase_time(self, name: str) -> float:
         return self.machine.phase_time(name)
+
+    # ------------------------------------------------------------------
+    # observability
+    # ------------------------------------------------------------------
+    def obs_snapshot(self) -> MetricsSnapshot:
+        """Unified host + simulated metrics for this program's run."""
+        return MetricsSnapshot.collect(
+            self.machine, bus=self.events, cache=self.translation_cache
+        )
+
+    def export_obs(self, path: str, fmt: str = "jsonl") -> str:
+        """Export the machine's trace buffer + event bus to ``path``.
+
+        ``fmt`` is ``"jsonl"`` or ``"chrome"`` (Perfetto-loadable); see
+        :mod:`repro.obs.export`.  Works with obs off too (spans empty,
+        events still present).
+        """
+        return export_trace(
+            path,
+            self.machine.obs,
+            bus=self.events,
+            meta={
+                "n_procs": self.machine.n_procs,
+                "obs": self.obs,
+                "simulated_total": float(self.machine.elapsed()),
+            },
+            fmt=fmt,
+        )
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (

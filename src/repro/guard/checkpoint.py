@@ -500,7 +500,9 @@ def _restore_adapt(adapt, payload: dict) -> None:
     }
     adapt.failures = dict(payload["failures"])
     adapt.disabled = set(payload["disabled"])
-    adapt.fallback_log = [dict(rec) for rec in payload["fallback_log"]]
+    # whole-slice assignment: fallback_log may be an EventLogView over
+    # the program's event bus (plain reassignment would detach it)
+    adapt.fallback_log[:] = [dict(rec) for rec in payload["fallback_log"]]
     adapt.last_patch = None
     adapt.last_error = None
 

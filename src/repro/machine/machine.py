@@ -23,6 +23,7 @@ from typing import Iterator, Mapping, Sequence
 import numpy as np
 
 from repro.machine.costmodel import CostModel, IPSC860
+from repro.obs.tracer import NULL_TRACER
 from repro.machine.stats import (
     CounterBlock,
     MachineStats,
@@ -84,6 +85,10 @@ class Machine:
         self._phase_depth = 0
         #: optional repro.guard.faults.FaultPlan; hooks fire when set
         self.faults = None
+        #: host-side span tracer (repro.obs); the shared no-op by
+        #: default -- IrregularProgram installs a real Tracer when
+        #: obs is on.  Never charges the simulated clocks.
+        self.obs = NULL_TRACER
 
     # ------------------------------------------------------------------
     # clock primitives

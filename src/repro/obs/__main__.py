@@ -1,0 +1,30 @@
+"""CLI: ``python -m repro.obs report <trace> [--top N]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .report import report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro.obs trace files.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report", help="per-phase wall-time table + top-N hot spans"
+    )
+    rep.add_argument("trace", help="JSONL or Chrome trace file (auto-detected)")
+    rep.add_argument("--top", type=int, default=10, help="hot spans to show")
+    args = parser.parse_args(argv)
+    if args.command == "report":
+        print(report(args.trace, top=args.top))
+        return 0
+    return 2  # pragma: no cover - argparse enforces the subcommand
+
+
+if __name__ == "__main__":
+    sys.exit(main())

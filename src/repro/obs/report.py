@@ -1,0 +1,98 @@
+"""Render a trace file as a per-phase table + top-N hot spans.
+
+``python -m repro.obs report <trace> [--top N]`` loads a JSONL or
+Chrome trace (auto-detected) and prints:
+
+* a **per-phase** host wall-time table -- root spans (no parent)
+  grouped by name, with each phase's share of total root time;
+* the **top-N hot spans** ranked by *self* time (duration minus direct
+  children), so leaf work like ``adapt.state.build_adapt_state`` ranks
+  above the umbrella spans that merely contain it;
+* counter values and the dropped-span count, when present.
+"""
+
+from __future__ import annotations
+
+from .export import load_trace
+
+
+def summarize(trace: dict) -> dict:
+    """Aggregate a loaded trace into phase and hot-span tables."""
+    spans = trace["spans"]
+    child_ns: dict = {}
+    for rec in spans:
+        parent = rec.get("parent")
+        if parent is not None:
+            child_ns[parent] = child_ns.get(parent, 0) + rec["dur_ns"]
+
+    phases: dict[str, dict] = {}
+    names: dict[str, dict] = {}
+    for rec in spans:
+        dur_s = rec["dur_ns"] * 1e-9
+        self_s = (rec["dur_ns"] - child_ns.get(rec.get("id"), 0)) * 1e-9
+        entry = names.setdefault(
+            rec["name"], {"count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0}
+        )
+        entry["count"] += 1
+        entry["total_s"] += dur_s
+        entry["self_s"] += self_s
+        if dur_s > entry["max_s"]:
+            entry["max_s"] = dur_s
+        if rec.get("parent") is None:
+            ph = phases.setdefault(rec["name"], {"count": 0, "total_s": 0.0})
+            ph["count"] += 1
+            ph["total_s"] += dur_s
+
+    root_total = sum(ph["total_s"] for ph in phases.values())
+    for ph in phases.values():
+        ph["share"] = ph["total_s"] / root_total if root_total else 0.0
+    hot = sorted(names.items(), key=lambda kv: kv[1]["self_s"], reverse=True)
+    return {
+        "phases": phases,
+        "names": names,
+        "hot": hot,
+        "root_total_s": root_total,
+        "counters": trace.get("counters", {}),
+        "n_spans": len(spans),
+        "n_events": len(trace.get("events", [])),
+        "dropped": trace.get("meta", {}).get("dropped_spans", 0),
+    }
+
+
+def render(summary: dict, top: int = 10) -> str:
+    lines = []
+    lines.append(
+        f"{summary['n_spans']} spans, {summary['n_events']} events, "
+        f"{summary['dropped']} dropped"
+    )
+    lines.append("")
+    lines.append("per-phase host wall time (root spans):")
+    lines.append(f"  {'phase':<32} {'count':>7} {'total_s':>10} {'share':>7}")
+    for name, ph in sorted(
+        summary["phases"].items(), key=lambda kv: kv[1]["total_s"], reverse=True
+    ):
+        lines.append(
+            f"  {name:<32} {ph['count']:>7} {ph['total_s']:>10.4f} "
+            f"{100 * ph['share']:>6.1f}%"
+        )
+    lines.append(f"  {'(total)':<32} {'':>7} {summary['root_total_s']:>10.4f}")
+    lines.append("")
+    lines.append(f"top {top} hot spans (by self time):")
+    lines.append(
+        f"  {'span':<36} {'count':>7} {'self_s':>10} {'total_s':>10} {'max_s':>9}"
+    )
+    for name, entry in summary["hot"][:top]:
+        lines.append(
+            f"  {name:<36} {entry['count']:>7} {entry['self_s']:>10.4f} "
+            f"{entry['total_s']:>10.4f} {entry['max_s']:>9.4f}"
+        )
+    if summary["counters"]:
+        lines.append("")
+        lines.append("counters:")
+        for name, value in sorted(summary["counters"].items()):
+            lines.append(f"  {name:<36} {value}")
+    return "\n".join(lines)
+
+
+def report(path: str, top: int = 10) -> str:
+    return render(summarize(load_trace(path)), top=top)

@@ -40,6 +40,7 @@ from dataclasses import asdict
 
 import numpy as np
 
+from repro.obs import EventBus, NULL_TRACER, Tracer, export_trace
 from repro.serve.cache import ResultCache
 from repro.serve.config import JobConfig, config_key
 from repro.serve.errors import (
@@ -58,7 +59,7 @@ _DEFAULT_JOB_SECONDS = 1.0
 class Job:
     """Client-side handle of one submitted simulation."""
 
-    def __init__(self, job_id: str, key: str, config: JobConfig, lock):
+    def __init__(self, job_id: str, key: str, config: JobConfig, lock, bus=None):
         self.id = job_id
         self.key = key
         self.config = config
@@ -67,7 +68,13 @@ class Job:
         self.duplicates = 0
         self.result: dict | None = None
         self.error: Exception | None = None
-        self.events: list[dict] = []
+        #: lifecycle event log; a live view over the service bus's
+        #: per-job category when the service carries one (shared
+        #: structured-event schema), else a plain list
+        if bus is not None:
+            self.events = bus.view(f"serve.job/{job_id}", name_key="event")
+        else:
+            self.events = []
         self._lock = lock
         self._finished = threading.Event()
 
@@ -121,6 +128,7 @@ class _Worker:
         self.alive = True
         self.busy: Job | None = None
         self.started_at = 0.0
+        self.started_ns = 0
         self.last_beat = 0.0
 
 
@@ -140,7 +148,22 @@ class SimulationService:
         checkpoint_dir: str | None = None,
         seed: int = 0,
         poll_interval: float = 0.02,
+        obs: str | None = None,
     ):
+        """``obs`` (``"on"``/``"off"``; ``None`` reads ``REPRO_OBS``)
+        enables supervisor-side job-lifecycle spans: one retroactive
+        ``serve.job.attempt`` span per worker attempt, exported via
+        :meth:`export_obs`.  Workers are separate processes, so their
+        internal spans stay worker-side; the event bus (and the legacy
+        ``job.events`` / ``service.events`` views over it) is always on."""
+        if obs is None:
+            obs = os.environ.get("REPRO_OBS", "off")
+        if obs not in ("on", "off"):
+            raise ValueError(f"unknown obs mode {obs!r}; choose on | off")
+        self.obs = Tracer() if obs == "on" else NULL_TRACER
+        #: structured-event stream; ``self.events`` and every
+        #: ``Job.events`` are list-shaped views over its categories
+        self.bus = EventBus()
         if workers < 1:
             raise ValueError(f"need at least 1 worker, got {workers}")
         if max_attempts < 1:
@@ -171,7 +194,8 @@ class SimulationService:
         self._retry_seq = 0
         self._inflight: dict[str, Job] = {}  # key -> queued/running/retrying job
         self.jobs: dict[str, Job] = {}
-        self.events: list[dict] = []  # service-level incidents
+        #: service-level incidents (view over the bus's service category)
+        self.events = self.bus.view("serve.service", name_key="event")
         self._counts = {
             "submitted": 0,
             "completed": 0,
@@ -305,7 +329,9 @@ class SimulationService:
     # ------------------------------------------------------------------
     def _new_job(self, key: str, config: JobConfig) -> Job:
         self._job_seq += 1
-        job = Job(f"job-{self._job_seq:04d}", key, config, self._lock)
+        job = Job(
+            f"job-{self._job_seq:04d}", key, config, self._lock, bus=self.bus
+        )
         self.jobs[job.id] = job
         return job
 
@@ -315,6 +341,32 @@ class SimulationService:
 
     def _incident(self, kind: str, **detail) -> None:
         self.events.append({"event": kind, "t": time.time(), **detail})
+
+    def _close_attempt(self, w: _Worker, job, outcome: str) -> None:
+        """Record one worker attempt as a retroactive span (obs on only)."""
+        if job is None or not self.obs.enabled:
+            return
+        t0 = w.started_ns
+        self.obs.record(
+            "serve.job.attempt",
+            t0,
+            time.perf_counter_ns() - t0,
+            job=job.id,
+            attempt=job.attempts,
+            worker=w.id,
+            outcome=outcome,
+        )
+
+    def export_obs(self, path: str, fmt: str = "jsonl") -> str:
+        """Export supervisor spans + the service event bus to ``path``."""
+        with self._lock:
+            return export_trace(
+                path,
+                self.obs,
+                bus=self.bus,
+                meta={"component": "serve", "counts": dict(self._counts)},
+                fmt=fmt,
+            )
 
     def _retry_after_hint(self) -> float:
         per_job = (
@@ -387,6 +439,7 @@ class SimulationService:
             job.state = "running"
             w.busy = job
             w.started_at = w.last_beat = time.monotonic()
+            w.started_ns = time.perf_counter_ns()
             job._event(
                 "running", attempt=job.attempts, worker=w.id, resuming=resuming
             )
@@ -416,6 +469,7 @@ class SimulationService:
         w.busy = None
         if job is None:  # pragma: no cover - protocol guard
             return
+        self._close_attempt(w, job, "done")
         self._durations.append(time.monotonic() - w.started_at)
         if result.get("resumed"):
             job._event(
@@ -444,6 +498,7 @@ class SimulationService:
         w.busy = None
         if job is None:  # pragma: no cover - protocol guard
             return
+        self._close_attempt(w, job, "typed_error")
         job.error = JobFailed(
             f"{msg['error_type']}: {msg['error']}", cause=None
         )
@@ -462,6 +517,7 @@ class SimulationService:
         """A worker died (or was killed): restart it, reschedule its job."""
         job = w.busy
         w.busy = None
+        self._close_attempt(w, job, f"crash:{reason}")
         w.alive = False
         try:
             w.conn.close()

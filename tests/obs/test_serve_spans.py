@@ -1,0 +1,52 @@
+"""Supervisor-side obs spans across serve retries.
+
+Workers are separate processes, so the service records one retroactive
+``serve.job.attempt`` span per worker attempt; a crash-and-resume job
+must show both the failed and the successful attempt, and the exported
+artifact must interleave those spans with the lifecycle event bus.
+"""
+
+from repro.obs import load_trace
+from repro.serve import JobConfig, SimulationService
+
+CFG = dict(scenario="adapt", n_nodes=240, n_procs=4, checkpoint_every=2)
+
+
+def test_retry_produces_one_span_per_attempt(tmp_path):
+    cfg = JobConfig(steps=6, seed=7, crash_at_step=3, **CFG)
+    with SimulationService(workers=1, backoff_base=0.01, seed=0, obs="on") as svc:
+        job = svc.submit(cfg)
+        job.wait(timeout=120)
+        attempts = [s for s in svc.obs.spans if s.name == "serve.job.attempt"]
+        assert len(attempts) == 2
+        first, second = sorted(attempts, key=lambda s: s.attrs["attempt"])
+        assert first.attrs["outcome"].startswith("crash:")
+        assert second.attrs["outcome"] == "done"
+        assert first.attrs["job"] == second.attrs["job"] == job.id
+        assert all(s.dur_ns > 0 for s in attempts)
+
+        path = svc.export_obs(str(tmp_path / "serve.jsonl"))
+    trace = load_trace(path)
+    assert trace["meta"]["component"] == "serve"
+    assert trace["meta"]["counts"]["completed"] == 1
+    span_outcomes = [s["attrs"]["outcome"] for s in trace["spans"]]
+    assert "done" in span_outcomes
+    # job lifecycle events ride the same artifact via the bus
+    job_events = [
+        e["payload"]["event"]
+        for e in trace["events"]
+        if e.get("category", "").startswith("serve.job/")
+    ]
+    assert "retrying" in job_events and "done" in job_events
+
+
+def test_obs_off_records_nothing_but_events_still_flow():
+    cfg = JobConfig(steps=3, seed=5, **CFG)
+    with SimulationService(workers=1, seed=0) as svc:
+        job = svc.submit(cfg)
+        job.wait(timeout=120)
+        assert not svc.obs.enabled
+        assert len(svc.obs.spans) == 0
+        # the bus (and the legacy views over it) is obs-independent
+        assert [e["event"] for e in job.status()["events"]][-1] == "done"
+        assert svc.bus.counts()[f"serve.job/{job.id}"] >= 3

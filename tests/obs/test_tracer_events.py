@@ -1,0 +1,185 @@
+"""Unit coverage for the span tracer and the structured event bus."""
+
+import pytest
+
+from repro.obs import NULL_TRACER, EventBus, NullTracer, Tracer, aggregate_spans
+
+
+class TestTracer:
+    def test_nesting_and_parent_linkage(self):
+        tr = Tracer()
+        with tr.span("outer"):
+            with tr.span("inner_a"):
+                pass
+            with tr.span("inner_b"):
+                pass
+        inner_a, inner_b, outer = tr.spans
+        assert [s.name for s in tr.spans] == ["inner_a", "inner_b", "outer"]
+        assert outer.parent is None
+        assert inner_a.parent == outer.id
+        assert inner_b.parent == outer.id
+        assert inner_a.id != inner_b.id
+        # siblings are disjoint in time and inside the parent window
+        assert outer.t0_ns <= inner_a.t0_ns
+        assert inner_a.t0_ns + inner_a.dur_ns <= inner_b.t0_ns
+        assert inner_b.t0_ns + inner_b.dur_ns <= outer.t0_ns + outer.dur_ns
+
+    def test_attrs_at_open_and_mid_span(self):
+        tr = Tracer()
+        with tr.span("s", loop="L2") as sp:
+            sp.set(n_changed=7)
+        (rec,) = tr.spans
+        assert rec.attrs == {"loop": "L2", "n_changed": 7}
+
+    def test_exception_unwinds_parent_stack(self):
+        tr = Tracer()
+        with pytest.raises(RuntimeError):
+            with tr.span("outer"):
+                with tr.span("boom"):
+                    raise RuntimeError("x")
+        # both spans closed despite the exception; stack is clean
+        assert [s.name for s in tr.spans] == ["boom", "outer"]
+        with tr.span("after"):
+            pass
+        assert tr.spans[-1].parent is None
+
+    def test_counters_and_instants(self):
+        tr = Tracer()
+        tr.counter("hits")
+        tr.counter("hits", 2)
+        tr.event("mark", detail="d")
+        assert tr.counters == {"hits": 3}
+        (ev,) = tr.events
+        assert ev["kind"] == "instant" and ev["name"] == "mark"
+        assert ev["attrs"] == {"detail": "d"}
+
+    def test_bounded_buffer_counts_drops(self):
+        tr = Tracer(max_spans=2)
+        for i in range(5):
+            with tr.span(f"s{i}"):
+                pass
+        assert len(tr.spans) == 2
+        assert tr.dropped == 3
+
+    def test_retroactive_record(self):
+        tr = Tracer()
+        pid = tr.record("job", t0_ns=100, dur_ns=50, attempt=1)
+        tr.record("step", t0_ns=110, dur_ns=10, parent=pid)
+        job, step = tr.spans
+        assert job.attrs == {"attempt": 1}
+        assert step.parent == pid
+
+    def test_clear(self):
+        tr = Tracer(max_spans=1)
+        with tr.span("a"):
+            pass
+        with tr.span("b"):
+            pass
+        tr.counter("c")
+        tr.clear()
+        assert not tr.spans and not tr.counters and tr.dropped == 0
+
+
+class TestNullTracer:
+    def test_shared_noop_singleton(self):
+        assert NULL_TRACER.enabled is False
+        assert isinstance(NULL_TRACER, NullTracer)
+        with NULL_TRACER.span("x", attr=1) as sp:
+            assert sp.set(more=2) is sp
+        NULL_TRACER.counter("c")
+        NULL_TRACER.event("e")
+        NULL_TRACER.record("r", 0, 0)
+        assert NULL_TRACER.spans == ()
+        assert NULL_TRACER.counters == {}
+        # span() hands out one shared stateless context manager
+        assert NULL_TRACER.span("a") is NULL_TRACER.span("b")
+
+
+class TestAggregateSpans:
+    def test_self_time_subtracts_direct_children(self):
+        tr = Tracer()
+        parent = tr.record("outer", t0_ns=0, dur_ns=1_000_000_000)
+        tr.record("leaf", t0_ns=0, dur_ns=600_000_000, parent=parent)
+        agg = aggregate_spans(tr.spans)
+        assert agg["outer"]["total_s"] == pytest.approx(1.0)
+        assert agg["outer"]["self_s"] == pytest.approx(0.4)
+        assert agg["leaf"]["self_s"] == pytest.approx(0.6)
+        assert agg["outer"]["count"] == 1
+
+
+class TestEventBus:
+    def test_emit_orders_and_categorizes(self):
+        bus = EventBus()
+        bus.emit("a", "x", {"v": 1})
+        bus.emit("b", "y", {"v": 2})
+        bus.emit("a", "z", {"v": 3})
+        assert [r.seq for r in bus.all()] == [0, 1, 2]
+        assert [r.name for r in bus.category("a")] == ["x", "z"]
+        assert bus.counts() == {"a": 2, "b": 1}
+
+    def test_record_to_dict(self):
+        bus = EventBus()
+        rec = bus.emit("guard", "verified", {"event": "verified", "ok": True})
+        assert rec.to_dict() == {
+            "kind": "event",
+            "seq": 0,
+            "category": "guard",
+            "name": "verified",
+            "payload": {"event": "verified", "ok": True},
+        }
+
+
+class TestEventLogView:
+    """The view must be a drop-in for the legacy plain-list logs."""
+
+    def test_append_iterate_index_truthiness(self):
+        bus = EventBus()
+        view = bus.view("guard", name_key="event")
+        assert not view and len(view) == 0
+        view.append({"event": "verified", "loop": "L2"})
+        view.append({"event": "corrupted"})
+        assert view and len(view) == 2
+        assert view[0]["event"] == "verified"
+        assert view[-1]["event"] == "corrupted"
+        assert [e["event"] for e in view] == ["verified", "corrupted"]
+        # tuple-unpack idiom used by existing tests
+        (first, _second) = view
+        assert first["loop"] == "L2"
+
+    def test_name_key_lifts_event_names(self):
+        bus = EventBus()
+        fallback = bus.view("adapt.fallback", name_key="reason")
+        fallback.append({"reason": "over_threshold", "n_changed": 9})
+        (rec,) = bus.category("adapt.fallback")
+        assert rec.name == "over_threshold"
+
+    def test_slicing_and_equality(self):
+        bus = EventBus()
+        view = bus.view("c")
+        items = [{"event": "a"}, {"event": "b"}, {"event": "c"}]
+        view.extend(items)
+        assert view[1:] == items[1:]
+        assert view == items
+        assert view != items[:2]
+        assert view == bus.view("c")
+
+    def test_whole_slice_assignment_only(self):
+        bus = EventBus()
+        view = bus.view("c")
+        view.append({"event": "old"})
+        restored = [{"event": "a"}, {"event": "b"}]
+        view[:] = restored  # the checkpoint-restore idiom
+        assert list(view) == restored
+        with pytest.raises(TypeError, match="whole-slice"):
+            view[0] = {"event": "nope"}
+        with pytest.raises(TypeError, match="whole-slice"):
+            view[1:] = [{"event": "nope"}]
+
+    def test_views_share_the_bus(self):
+        bus = EventBus()
+        a = bus.view("shared")
+        b = bus.view("shared")
+        a.append({"event": "x"})
+        assert list(b) == [{"event": "x"}]
+        b.clear()
+        assert not a and not bus.counts()
